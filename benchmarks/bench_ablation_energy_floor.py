@@ -1,0 +1,12 @@
+"""Ablation: energy-aware policy across performance floors.
+
+An ablation bench beyond the paper's figures; rendered output is printed
+and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.ablations import run_energy_floor
+
+
+def test_run_energy_floor(run_experiment_bench):
+    result = run_experiment_bench(run_energy_floor, "bench_ablation_energy_floor")
+    assert result.rows

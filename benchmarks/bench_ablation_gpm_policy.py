@@ -1,0 +1,12 @@
+"""Ablation: GPM provisioning policies.
+
+An ablation bench beyond the paper's figures; rendered output is printed
+and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.ablations import run_gpm_policy
+
+
+def test_run_gpm_policy(run_experiment_bench):
+    result = run_experiment_bench(run_gpm_policy, "bench_ablation_gpm_policy")
+    assert result.rows

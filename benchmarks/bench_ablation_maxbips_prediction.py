@@ -1,0 +1,12 @@
+"""Ablation: MaxBIPS prediction table variants.
+
+An ablation bench beyond the paper's figures; rendered output is printed
+and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.ablations import run_maxbips_prediction
+
+
+def test_run_maxbips_prediction(run_experiment_bench):
+    result = run_experiment_bench(run_maxbips_prediction, "bench_ablation_maxbips_prediction")
+    assert result.rows

@@ -1,0 +1,12 @@
+"""Ablation: P vs PI vs PID local controllers.
+
+An ablation bench beyond the paper's figures; rendered output is printed
+and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.ablations import run_pid_terms
+
+
+def test_run_pid_terms(run_experiment_bench):
+    result = run_experiment_bench(run_pid_terms, "bench_ablation_pid_terms")
+    assert result.rows

@@ -1,0 +1,12 @@
+"""Ablation: continuous vs quantized PIC actuation.
+
+An ablation bench beyond the paper's figures; rendered output is printed
+and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.ablations import run_quantization
+
+
+def test_run_quantization(run_experiment_bench):
+    result = run_experiment_bench(run_quantization, "bench_ablation_quantization")
+    assert result.rows

@@ -1,0 +1,12 @@
+"""Ablation: per-island vs global transducer.
+
+An ablation bench beyond the paper's figures; rendered output is printed
+and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.ablations import run_transducer
+
+
+def test_run_transducer(run_experiment_bench):
+    result = run_experiment_bench(run_transducer, "bench_ablation_transducer")
+    assert result.rows

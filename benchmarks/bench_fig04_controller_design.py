@@ -1,0 +1,12 @@
+"""Controller design: pole placement, stability range (Eq. 12-13).
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig04_controller_design import run
+
+
+def test_fig04_controller_design(run_experiment_bench):
+    result = run_experiment_bench(run, "fig04_controller_design")
+    assert result.rows or result.series

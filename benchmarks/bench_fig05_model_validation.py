@@ -1,0 +1,12 @@
+"""Figure 5: open-loop model vs actual power.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig05_model_validation import run
+
+
+def test_fig05_model_validation(run_experiment_bench):
+    result = run_experiment_bench(run, "fig05_model_validation")
+    assert result.rows or result.series

@@ -1,0 +1,12 @@
+"""Figure 6: power-utilization linear fits.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig06_power_utilization import run
+
+
+def test_fig06_power_utilization(run_experiment_bench):
+    result = run_experiment_bench(run, "fig06_power_utilization")
+    assert result.rows or result.series

@@ -1,0 +1,12 @@
+"""Figure 7: GPM provisioning across islands.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig07_provisioning import run
+
+
+def test_fig07_provisioning(run_experiment_bench):
+    result = run_experiment_bench(run, "fig07_provisioning")
+    assert result.rows or result.series

@@ -1,0 +1,12 @@
+"""Figure 8: per-island target vs actual power.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig08_island_tracking import run
+
+
+def test_fig08_island_tracking(run_experiment_bench):
+    result = run_experiment_bench(run, "fig08_island_tracking")
+    assert result.rows or result.series

@@ -1,0 +1,12 @@
+"""Figure 9: PIC robustness between GPM invocations.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig09_pic_tracking import run
+
+
+def test_fig09_pic_tracking(run_experiment_bench):
+    result = run_experiment_bench(run, "fig09_pic_tracking")
+    assert result.rows or result.series

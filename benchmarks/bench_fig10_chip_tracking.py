@@ -1,0 +1,12 @@
+"""Figure 10: chip-wide budget tracking.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig10_chip_tracking import run
+
+
+def test_fig10_chip_tracking(run_experiment_bench):
+    result = run_experiment_bench(run, "fig10_chip_tracking")
+    assert result.rows or result.series

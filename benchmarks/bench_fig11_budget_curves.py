@@ -1,0 +1,12 @@
+"""Figure 11: budget curves, CPM vs MaxBIPS.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig11_budget_curves import run
+
+
+def test_fig11_budget_curves(run_experiment_bench):
+    result = run_experiment_bench(run, "fig11_budget_curves")
+    assert result.rows or result.series

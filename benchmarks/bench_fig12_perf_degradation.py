@@ -1,0 +1,12 @@
+"""Figure 12: degradation vs budget.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig12_perf_degradation import run
+
+
+def test_fig12_perf_degradation(run_experiment_bench):
+    result = run_experiment_bench(run, "fig12_perf_degradation")
+    assert result.rows or result.series

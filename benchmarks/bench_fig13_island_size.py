@@ -1,0 +1,12 @@
+"""Figure 13: degradation vs island size.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig13_island_size import run
+
+
+def test_fig13_island_size(run_experiment_bench):
+    result = run_experiment_bench(run, "fig13_island_size")
+    assert result.rows or result.series

@@ -1,0 +1,12 @@
+"""Figure 14: degradation over time at 100% budget.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig14_perf_time import run
+
+
+def test_fig14_perf_time(run_experiment_bench):
+    result = run_experiment_bench(run, "fig14_perf_time")
+    assert result.rows or result.series

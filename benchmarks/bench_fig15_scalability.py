@@ -1,0 +1,12 @@
+"""Figure 15: 16/32-core scalability vs MaxBIPS.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig15_scalability import run
+
+
+def test_fig15_scalability(run_experiment_bench):
+    result = run_experiment_bench(run, "fig15_scalability")
+    assert result.rows or result.series

@@ -1,0 +1,12 @@
+"""Figure 16: Mix-1 vs Mix-2.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig16_mix_sensitivity import run
+
+
+def test_fig16_mix_sensitivity(run_experiment_bench):
+    result = run_experiment_bench(run, "fig16_mix_sensitivity")
+    assert result.rows or result.series

@@ -1,0 +1,12 @@
+"""Figure 17: GPM/PIC interval sensitivity.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig17_interval_sensitivity import run
+
+
+def test_fig17_interval_sensitivity(run_experiment_bench):
+    result = run_experiment_bench(run, "fig17_interval_sensitivity")
+    assert result.rows or result.series

@@ -1,0 +1,12 @@
+"""Figure 18: thermal-aware provisioning.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig18_thermal import run
+
+
+def test_fig18_thermal(run_experiment_bench):
+    result = run_experiment_bench(run, "fig18_thermal")
+    assert result.rows or result.series

@@ -1,0 +1,12 @@
+"""Figures 19/20: variation-aware provisioning.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.fig19_variation import run
+
+
+def test_fig19_variation(run_experiment_bench):
+    result = run_experiment_bench(run, "fig19_variation")
+    assert result.rows or result.series

@@ -1,0 +1,12 @@
+"""Tables I-III: configuration and mixes.
+
+Regenerates the corresponding table/figure of the paper; the rendered
+series/rows are printed and archived under ``benchmarks/results/``.
+"""
+
+from repro.experiments.tables import run
+
+
+def test_tables(run_experiment_bench):
+    result = run_experiment_bench(run, "tables")
+    assert result.rows or result.series

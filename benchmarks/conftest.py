@@ -1,0 +1,38 @@
+"""Benchmark-harness plumbing.
+
+Every bench runs one experiment end to end under pytest-benchmark (one
+round — these are throughput-style workloads, not microbenchmarks),
+prints the experiment's rows/series (the paper-figure reproduction), and
+archives the rendered text under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def run_experiment_bench(benchmark, results_dir, capsys):
+    """Run an experiment under the benchmark fixture and archive it."""
+
+    def runner(run_fn, name: str, **kwargs):
+        result = benchmark.pedantic(
+            run_fn, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+        text = result.render()
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        return result
+
+    return runner

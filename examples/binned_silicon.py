@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Scenario: squeezing efficiency out of leaky (low-bin) silicon.
+
+Process variation means two "identical" chips leak very differently —
+and even islands within one die can.  This script samples a spatially
+correlated variation map for a 16-core die, compares the
+performance-aware and variation-aware policies on it, and shows the
+variation-aware greedy parking the leaky islands at lower V/F for a
+better chip-wide power/throughput ratio.
+
+Run:  python examples/binned_silicon.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro import (
+    CPMScheme,
+    DEFAULT_CONFIG,
+    PerformanceAwarePolicy,
+    Simulation,
+    VariationAwarePolicy,
+)
+from repro.reporting import as_percent, format_table
+from repro.rng import SeedSequenceFactory
+from repro.thermal.floorplan import grid_floorplan
+from repro.variation.process import sample_variation_map
+
+BUDGET = 0.78
+HORIZON = 40
+
+
+def island_stats(result):
+    windows = result.telemetry.windows[5:]
+    bips = np.mean([w.island_bips for w in windows], axis=0)
+    energy = np.sum([w.island_energy_j for w in windows], axis=0)
+    seconds = sum(w.duration_s for w in windows)
+    return bips, (energy / seconds) / np.maximum(bips, 1e-9)
+
+
+def main() -> None:
+    base = DEFAULT_CONFIG.with_islands(16, 4)
+
+    # Sample this die's leakage field and average it per island (the
+    # granularity the power manager can act on).
+    rng = SeedSequenceFactory(777).generator("die-lottery")
+    vmap = sample_variation_map(grid_floorplan(16), rng, sigma=0.35)
+    island_of_core = np.repeat(np.arange(4), 4)
+    island_mult = vmap.island_means(island_of_core)
+    config = dataclasses.replace(
+        base, island_leakage_multipliers=tuple(float(m) for m in island_mult)
+    )
+    print("This die's island leakage multipliers:",
+          np.round(island_mult, 3), "\n")
+
+    runs = {}
+    for name, policy in (
+        ("performance-aware", PerformanceAwarePolicy()),
+        ("variation-aware", VariationAwarePolicy()),
+    ):
+        sim = Simulation(
+            config, CPMScheme(policy=policy), budget_fraction=BUDGET, seed=777
+        )
+        runs[name] = sim.run(HORIZON)
+
+    perf_bips, perf_ppt = island_stats(runs["performance-aware"])
+    var_bips, var_ppt = island_stats(runs["variation-aware"])
+
+    rows = []
+    for i in range(4):
+        rows.append(
+            [
+                f"island {i + 1}",
+                float(island_mult[i]),
+                as_percent(float(1 - var_bips[i] / perf_bips[i])),
+                as_percent(float(1 - var_ppt[i] / perf_ppt[i])),
+            ]
+        )
+    chip_bips_cost = 1 - var_bips.sum() / perf_bips.sum()
+    chip_ppt_perf = (perf_ppt * perf_bips).sum() / perf_bips.sum()
+    chip_ppt_var = (var_ppt * var_bips).sum() / var_bips.sum()
+    rows.append(
+        [
+            "chip",
+            float("nan"),
+            as_percent(float(chip_bips_cost)),
+            as_percent(float(1 - chip_ppt_var / chip_ppt_perf)),
+        ]
+    )
+    print(
+        format_table(
+            [
+                "island",
+                "leakage x",
+                "throughput cost",
+                "power/throughput gain",
+            ],
+            rows,
+            title="variation-aware vs performance-aware on this die",
+        )
+    )
+    print(
+        "\nThe greedy EPI search finds each island's efficient operating "
+        "level; leakier islands end lower on the V/F ladder.  Note the "
+        "trade is deliberate and unbounded: the policy optimizes "
+        "power/throughput with no performance floor, so pair it with a "
+        "guarantee (see custom_policy.py) for latency-critical tenants."
+    )
+
+
+if __name__ == "__main__":
+    main()

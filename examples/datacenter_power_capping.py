@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Scenario: rack-level power capping during a brownout.
+
+A datacenter operator gets a 15-minute demand-response event: every
+socket must shed power NOW, then progressively recover.  This script
+drives one 32-core CMP through a budget staircase —
+100% → 85% → 72% → 90% — while the chip keeps running its mixed
+analytics workload, and reports per-stage tracking and throughput.
+
+It demonstrates the part of the architecture the paper emphasizes: the
+*same* per-island controllers serve any budget the operator dials in;
+only the chip-wide set-point changes.
+
+Run:  python examples/datacenter_power_capping.py
+"""
+
+import numpy as np
+
+from repro import DEFAULT_CONFIG, CPMScheme, Simulation
+from repro.reporting import as_percent, format_series, format_table
+
+#: (budget fraction of max chip power, GPM intervals to hold it).
+STAIRCASE = [(1.00, 10), (0.85, 15), (0.72, 15), (0.90, 15)]
+
+
+def main() -> None:
+    config = DEFAULT_CONFIG.with_islands(32, 8)
+    print(f"Platform: {config.n_cores} cores / {config.n_islands} islands\n")
+
+    # One simulation per stage, carrying the budget change; the scheme
+    # (and its calibration) is rebuilt per stage exactly as a power
+    # governor would re-arm with a new chip-wide set-point.
+    rows = []
+    all_power: list[np.ndarray] = []
+    all_budget: list[np.ndarray] = []
+    for budget, n_gpm in STAIRCASE:
+        sim = Simulation(
+            config, CPMScheme(), budget_fraction=budget, seed=4242
+        )
+        result = sim.run(n_gpm)
+        chip = result.telemetry["chip_power_frac"]
+        steady = chip[chip.size // 3 :]
+        rows.append(
+            [
+                as_percent(budget, 0),
+                float(steady.mean()),
+                float(max(steady.max() - budget, 0.0)),
+                result.mean_chip_bips,
+            ]
+        )
+        all_power.append(chip)
+        all_budget.append(np.full_like(chip, budget))
+
+    print(
+        format_table(
+            ["budget", "mean chip power", "worst overshoot", "throughput (BIPS)"],
+            rows,
+            title="Brownout staircase, per stage",
+        )
+    )
+    print()
+    print(
+        format_series(
+            {
+                "chip power": np.concatenate(all_power),
+                "budget": np.concatenate(all_budget),
+            },
+            width=72,
+            title="Budget staircase (fraction of max chip power)",
+        )
+    )
+    print(
+        "\nNote: at the 100% stage the budget does not bind — the chip "
+        "runs at its natural draw; every capped stage tracks its budget "
+        "from above within a few controller invocations."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` to build a PEP-660 editable install;
+offline environments that lack it can fall back to::
+
+    python setup.py develop
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""Higher-level analysis utilities built on the simulator.
+
+* :mod:`repro.analysis.sweeps` — declarative parameter sweeps (budgets,
+  platform shapes, schemes) with paired no-management references and
+  tabular summaries; the machinery behind the CLI's ``sweep`` command.
+* :mod:`repro.analysis.breakdown` — offline energy accounting: by
+  island, dynamic/static/uncore, and per microarchitectural structure,
+  with a verification of the reconstruction against recorded totals.
+"""
+
+from .breakdown import EnergyBreakdown, energy_breakdown, verify_reconstruction
+from .sweeps import SweepPoint, SweepResult, budget_sweep, scheme_sweep
+
+__all__ = [
+    "EnergyBreakdown",
+    "SweepPoint",
+    "SweepResult",
+    "budget_sweep",
+    "energy_breakdown",
+    "scheme_sweep",
+    "verify_reconstruction",
+]

@@ -1,0 +1,172 @@
+"""Declarative parameter sweeps over the simulator.
+
+Most of the paper's figures are sweeps: run a scheme across budgets, or
+several schemes at one budget, always against the paired no-management
+reference.  This module centralizes that pattern so experiments, the
+CLI and user notebooks share one implementation with memoized
+references.
+
+Example::
+
+    from repro.analysis import budget_sweep
+    from repro.core.cpm import CPMScheme
+
+    result = budget_sweep(
+        lambda: CPMScheme(), budgets=[0.75, 0.8, 0.85, 0.9],
+    )
+    print(result.as_table())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from ..cmpsim.simulator import PowerScheme, Simulation, SimulationResult
+from ..config import CMPConfig, DEFAULT_CONFIG
+from ..core.metrics import performance_degradation
+from ..experiments.common import reference_run
+from ..reporting import format_table
+from ..rng import DEFAULT_SEED
+from ..workloads.mixes import Mix
+
+#: A factory is required (not an instance) because schemes are stateful:
+#: every sweep point needs a fresh one.
+SchemeFactory = Callable[[], PowerScheme]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulated point of a sweep."""
+
+    label: str
+    budget_fraction: float
+    result: SimulationResult
+    degradation: float
+
+    @property
+    def mean_power(self) -> float:
+        return self.result.mean_chip_power_frac
+
+    @property
+    def max_power(self) -> float:
+        return float(self.result.telemetry["chip_power_frac"].max())
+
+
+@dataclass
+class SweepResult:
+    """All points of a sweep plus rendering helpers."""
+
+    title: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def as_table(self) -> str:
+        rows = [
+            [
+                p.label,
+                p.budget_fraction,
+                p.mean_power,
+                p.max_power,
+                p.degradation,
+            ]
+            for p in self.points
+        ]
+        return format_table(
+            ["point", "budget", "mean power", "max power", "degradation"],
+            rows,
+            title=self.title,
+        )
+
+    def degradations(self) -> np.ndarray:
+        return np.array([p.degradation for p in self.points])
+
+    def mean_powers(self) -> np.ndarray:
+        return np.array([p.mean_power for p in self.points])
+
+
+def _run_point(
+    scheme_factory: SchemeFactory,
+    config: CMPConfig,
+    mix: Mix | None,
+    budget: float,
+    n_gpm: int,
+    seed: int,
+    reference: SimulationResult,
+    label: str,
+) -> SweepPoint:
+    sim = Simulation(
+        config, scheme_factory(), mix=mix, budget_fraction=budget, seed=seed
+    )
+    result = sim.run(n_gpm)
+    return SweepPoint(
+        label=label,
+        budget_fraction=budget,
+        result=result,
+        degradation=performance_degradation(result, reference),
+    )
+
+
+def budget_sweep(
+    scheme_factory: SchemeFactory,
+    budgets: Sequence[float],
+    config: CMPConfig = DEFAULT_CONFIG,
+    mix: Mix | None = None,
+    n_gpm_intervals: int = 25,
+    seed: int = DEFAULT_SEED,
+    title: str = "budget sweep",
+) -> SweepResult:
+    """One scheme across several budgets, paired against no-management."""
+    if not budgets:
+        raise ValueError("need at least one budget")
+    reference = reference_run(config, mix, seed=seed, n_gpm=n_gpm_intervals)
+    sweep = SweepResult(title=title)
+    for budget in budgets:
+        if not 0.0 < budget <= 1.0:
+            raise ValueError(f"budget {budget} out of (0, 1]")
+        sweep.points.append(
+            _run_point(
+                scheme_factory,
+                config,
+                mix,
+                budget,
+                n_gpm_intervals,
+                seed,
+                reference,
+                label=f"budget {budget:.2f}",
+            )
+        )
+    return sweep
+
+
+def scheme_sweep(
+    scheme_factories: dict[str, SchemeFactory],
+    budget: float,
+    config: CMPConfig = DEFAULT_CONFIG,
+    mix: Mix | None = None,
+    n_gpm_intervals: int = 25,
+    seed: int = DEFAULT_SEED,
+    title: str | None = None,
+) -> SweepResult:
+    """Several schemes at one budget, paired against no-management."""
+    if not scheme_factories:
+        raise ValueError("need at least one scheme")
+    if not 0.0 < budget <= 1.0:
+        raise ValueError(f"budget {budget} out of (0, 1]")
+    reference = reference_run(config, mix, seed=seed, n_gpm=n_gpm_intervals)
+    sweep = SweepResult(title=title or f"schemes @ budget {budget:.2f}")
+    for name, factory in scheme_factories.items():
+        sweep.points.append(
+            _run_point(
+                factory,
+                config,
+                mix,
+                budget,
+                n_gpm_intervals,
+                seed,
+                reference,
+                label=name,
+            )
+        )
+    return sweep

@@ -1,0 +1,22 @@
+"""Comparison schemes the paper evaluates against.
+
+* :mod:`repro.baselines.maxbips` — MaxBIPS (Isci et al., MICRO 2006):
+  per GPM interval, predict BIPS and power for every island x DVFS-knob
+  combination and pick the feasible combination with the highest total
+  BIPS.  Open loop, quantized knobs — hence it always lands *below* the
+  budget (Figure 11).
+* :mod:`repro.baselines.no_management` — every core at maximum frequency;
+  the performance reference all degradation numbers are relative to.
+* :mod:`repro.baselines.static_uniform` — CPM with the uniform policy:
+  equal static provisioning, PICs still active (the GPM-value ablation).
+"""
+
+from .maxbips import MaxBIPSScheme
+from .no_management import NoManagementScheme
+from .static_uniform import StaticUniformScheme
+
+__all__ = [
+    "MaxBIPSScheme",
+    "NoManagementScheme",
+    "StaticUniformScheme",
+]

@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``run``        — simulate one power-management scheme and report/export.
+* ``calibrate``  — run the offline calibration pipeline and print it.
+* ``compare``    — CPM vs MaxBIPS vs no-management at one budget.
+* ``sweep``      — one scheme across a range of budgets.
+* ``experiment`` — run one (or all) paper experiments by name.
+
+Examples::
+
+    python -m repro run --budget 0.8 --cores 16 --islands 4 --out results/
+    python -m repro calibrate --cores 8 --islands 4
+    python -m repro compare --budget 0.8
+    python -m repro experiment fig12_perf_degradation
+    python -m repro experiment all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .baselines.maxbips import MaxBIPSScheme
+from .baselines.no_management import NoManagementScheme
+from .baselines.static_uniform import StaticUniformScheme
+from .cmpsim.simulator import Simulation
+from .config import CMPConfig, DEFAULT_CONFIG
+from .core.cpm import CPMScheme
+from .core.metrics import performance_degradation
+from .gpm import (
+    EnergyAwarePolicy,
+    PerformanceAwarePolicy,
+    ThermalAwarePolicy,
+    UniformPolicy,
+    VariationAwarePolicy,
+)
+from .reporting import as_percent, format_series, format_table
+from .rng import DEFAULT_SEED
+
+POLICIES = {
+    "performance": PerformanceAwarePolicy,
+    "thermal": ThermalAwarePolicy,
+    "variation": VariationAwarePolicy,
+    "energy": EnergyAwarePolicy,
+    "uniform": UniformPolicy,
+}
+
+SCHEMES = ("cpm", "maxbips", "none", "static")
+
+
+def _build_config(args: argparse.Namespace) -> CMPConfig:
+    config = DEFAULT_CONFIG
+    if args.cores != config.n_cores or args.islands != config.n_islands:
+        config = config.with_islands(args.cores, args.islands)
+    return config
+
+
+def _build_scheme(args: argparse.Namespace):
+    if args.scheme == "cpm":
+        return CPMScheme(policy=POLICIES[args.policy]())
+    if args.scheme == "maxbips":
+        return MaxBIPSScheme()
+    if args.scheme == "static":
+        return StaticUniformScheme()
+    return NoManagementScheme()
+
+
+def _add_platform_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cores", type=int, default=8, help="core count")
+    parser.add_argument("--islands", type=int, default=4, help="island count")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    scheme = _build_scheme(args)
+    sim = Simulation(
+        config, scheme, budget_fraction=args.budget, seed=args.seed
+    )
+    result = sim.run(args.intervals)
+
+    chip = result.telemetry["chip_power_frac"]
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["scheme", result.scheme_name],
+                ["mix", result.mix_name],
+                ["budget", as_percent(args.budget, 0)],
+                ["mean chip power", as_percent(result.mean_chip_power_frac)],
+                ["max chip power", as_percent(float(chip.max()))],
+                ["throughput (BIPS)", result.mean_chip_bips],
+                ["instructions retired", f"{result.total_instructions:.3e}"],
+            ],
+            title=f"{config.n_cores}-core / {config.n_islands}-island run "
+            f"({args.intervals} GPM intervals)",
+        )
+    )
+    print()
+    print(format_series({"chip power": chip}, width=64))
+    if args.out:
+        from .io import save_run
+
+        paths = save_run(result, args.out, stem=f"{result.scheme_name}")
+        for kind, path in paths.items():
+            print(f"wrote {kind}: {path}")
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from .core.calibration import calibrate
+
+    config = _build_config(args)
+    cal = calibrate(config, seed=args.seed)
+    rows = [
+        ["system gain a", cal.system_gain],
+        ["K_P / K_I / K_D",
+         f"{cal.pid_gains.kp:.4f} / {cal.pid_gains.ki:.4f} / {cal.pid_gains.kd:.4f}"],
+        ["validation error (holdout)", as_percent(cal.validation_error)],
+        ["stability gain limit g", cal.stability_limit],
+        ["mean transducer R^2", cal.mean_transducer_r_squared],
+    ]
+    for name, fit in sorted(cal.per_benchmark_gains.items()):
+        marker = " (holdout)" if name == cal.holdout else ""
+        rows.append([f"gain: {name}{marker}", fit.gain])
+    print(format_table(["quantity", "value"], rows, title="Calibration"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = _build_config(args)
+    reference = Simulation(
+        config, NoManagementScheme(), budget_fraction=1.0, seed=args.seed
+    ).run(args.intervals)
+    rows = [
+        [
+            "no-management",
+            as_percent(reference.mean_chip_power_frac),
+            as_percent(0.0),
+        ]
+    ]
+    for name, scheme in (
+        ("cpm (performance-aware)", CPMScheme()),
+        ("maxbips", MaxBIPSScheme()),
+        ("static-uniform", StaticUniformScheme()),
+    ):
+        result = Simulation(
+            config, scheme, budget_fraction=args.budget, seed=args.seed
+        ).run(args.intervals)
+        rows.append(
+            [
+                name,
+                as_percent(result.mean_chip_power_frac),
+                as_percent(performance_degradation(result, reference)),
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "mean chip power", "perf degradation"],
+            rows,
+            title=f"Scheme comparison @ budget {as_percent(args.budget, 0)}",
+        )
+    )
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .analysis.sweeps import budget_sweep
+
+    config = _build_config(args)
+    try:
+        start, stop, step = (float(x) for x in args.budgets.split(":"))
+    except ValueError:
+        print("--budgets must be start:stop:step, e.g. 0.75:1.0:0.05",
+              file=sys.stderr)
+        return 2
+    budgets = [round(b, 6) for b in
+               list(np.arange(start, stop + 1e-9, step))]
+    result = budget_sweep(
+        lambda: _build_scheme(args),
+        budgets=budgets,
+        config=config,
+        n_gpm_intervals=args.intervals,
+        seed=args.seed,
+        title=f"{args.scheme} across budgets on "
+        f"{config.n_cores}c/{config.n_islands}i",
+    )
+    print(result.as_table())
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import ALL_EXPERIMENTS
+
+    names = ALL_EXPERIMENTS if args.name == "all" else (args.name,)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s) {unknown}; choose from: "
+            f"{', '.join(ALL_EXPERIMENTS)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        result = module.run(seed=args.seed, quick=args.quick)
+        print(result.render())
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CPM-in-CMPs: coordinated CMP power management (SC 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one scheme")
+    _add_platform_args(run)
+    run.add_argument("--scheme", choices=SCHEMES, default="cpm")
+    run.add_argument("--policy", choices=sorted(POLICIES), default="performance")
+    run.add_argument("--budget", type=float, default=0.8,
+                     help="chip budget, fraction of max power")
+    run.add_argument("--intervals", type=int, default=25,
+                     help="GPM intervals to simulate")
+    run.add_argument("--out", help="directory for CSV/JSON export")
+    run.set_defaults(func=cmd_run)
+
+    cal = sub.add_parser("calibrate", help="run the offline calibration")
+    _add_platform_args(cal)
+    cal.set_defaults(func=cmd_calibrate)
+
+    cmp_ = sub.add_parser("compare", help="CPM vs baselines at one budget")
+    _add_platform_args(cmp_)
+    cmp_.add_argument("--budget", type=float, default=0.8)
+    cmp_.add_argument("--intervals", type=int, default=25)
+    cmp_.set_defaults(func=cmd_compare)
+
+    swp = sub.add_parser("sweep", help="one scheme across budgets")
+    _add_platform_args(swp)
+    swp.add_argument("--scheme", choices=SCHEMES, default="cpm")
+    swp.add_argument("--policy", choices=sorted(POLICIES), default="performance")
+    swp.add_argument("--budgets", default="0.75:1.0:0.05",
+                     help="start:stop:step budget range")
+    swp.add_argument("--intervals", type=int, default=25)
+    swp.set_defaults(func=cmd_sweep)
+
+    exp = sub.add_parser("experiment", help="run paper experiments")
+    exp.add_argument("name", help="experiment module name, or 'all'")
+    exp.add_argument("--quick", action="store_true",
+                     help="shortened horizons")
+    exp.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    exp.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

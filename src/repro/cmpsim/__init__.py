@@ -1,0 +1,43 @@
+"""Interval-based CMP simulator (the Simics/GEMS analogue).
+
+The simulator advances in PIC-sized intervals (0.5 ms by default).  Per
+interval, each core's synthetic workload produces a phase sample; the
+analytic CPI stack converts (sample, frequency) into retired
+instructions, busy fraction and utilization; the power models convert the
+same state into watts; and a lumped-RC model advances temperatures.  A
+pluggable :class:`~repro.cmpsim.simulator.PowerScheme` receives callbacks
+at PIC and GPM cadence and actuates island frequencies — the paper's CPM
+architecture and the MaxBIPS/no-management baselines are all schemes.
+
+* :mod:`repro.cmpsim.dvfs` — the 8-point Pentium-M V/F table, voltage
+  interpolation, quantization.
+* :mod:`repro.cmpsim.cache` — set-associative LRU caches used for
+  trace-driven miss-rate calibration.
+* :mod:`repro.cmpsim.core` — the analytic CPI stack.
+* :mod:`repro.cmpsim.chip` — vectorized per-interval evaluation of all
+  cores, islands and the chip, plus the max-power normalization.
+* :mod:`repro.cmpsim.telemetry` — per-interval recording.
+* :mod:`repro.cmpsim.simulator` — the simulation driver and scheme hooks.
+"""
+
+from .cache import CacheHierarchy, CacheStats, SetAssociativeCache
+from .chip import Chip, IntervalResult
+from .core import cpi_stack, utilization_reference
+from .dvfs import DVFSTable
+from .simulator import PowerScheme, Simulation, SimulationResult
+from .telemetry import Telemetry
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheStats",
+    "Chip",
+    "DVFSTable",
+    "IntervalResult",
+    "PowerScheme",
+    "SetAssociativeCache",
+    "Simulation",
+    "SimulationResult",
+    "Telemetry",
+    "cpi_stack",
+    "utilization_reference",
+]

@@ -1,0 +1,275 @@
+"""Vectorized chip state: cores, islands, power, thermal, normalization.
+
+A :class:`Chip` owns everything the per-interval evaluation needs as flat
+NumPy arrays over cores (the guides' idiom: one vectorized pass instead
+of per-core Python objects).  :meth:`Chip.compute_interval` turns the
+interval's workload samples plus the current island frequencies into
+performance and power for every core, island and the chip, and advances
+the thermal network.
+
+The chip also fixes the normalization constant the whole library reports
+against: ``max_power_w`` is the chip's power with every core fully active
+at the top operating point (plus the uncore share), and all budgets,
+set-points and power series are fractions of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..config import CMPConfig
+from ..power.model import CorePowerModel
+from ..thermal.floorplan import Floorplan, grid_floorplan
+from ..thermal.rc_model import RCThermalModel
+from ..variation.leakage_variation import (
+    island_multipliers_to_cores,
+    uniform_multipliers,
+)
+from ..workloads.benchmark import BenchmarkSpec
+from .core import cpi_stack, utilization_reference
+from .dvfs import DVFSTable
+
+
+@dataclass(frozen=True)
+class IntervalResult:
+    """Everything measured over one simulation interval."""
+
+    dt: float
+    #: Per-core arrays.
+    core_busy: np.ndarray
+    core_ips: np.ndarray
+    core_instructions: np.ndarray
+    core_power_w: np.ndarray
+    core_utilization: np.ndarray
+    core_temperature_c: np.ndarray
+    #: Per-island arrays.
+    island_power_w: np.ndarray
+    island_power_frac: np.ndarray
+    island_bips: np.ndarray
+    island_utilization: np.ndarray
+    island_frequency_ghz: np.ndarray
+    #: Chip scalars.
+    chip_power_w: float
+    chip_power_frac: float
+    chip_bips: float
+
+
+class Chip:
+    """The simulated CMP: per-core state plus island-level DVFS."""
+
+    def __init__(
+        self,
+        config: CMPConfig,
+        specs: Sequence[BenchmarkSpec],
+        floorplan: Floorplan | None = None,
+    ) -> None:
+        if len(specs) != config.n_cores:
+            raise ValueError(
+                f"need one benchmark per core: {config.n_cores} cores, "
+                f"{len(specs)} specs"
+            )
+        self.config = config
+        self.specs = tuple(specs)
+        self.dvfs = DVFSTable(config.dvfs.vf_table)
+        self.power_model = CorePowerModel(
+            config.core, nominal_voltage=float(self.dvfs.voltages[-1])
+        )
+        self.floorplan = floorplan or grid_floorplan(config.n_cores)
+        self.thermal = RCThermalModel(self.floorplan, config.thermal)
+
+        self.island_of_core = np.array(
+            [config.island_of_core(c) for c in range(config.n_cores)]
+        )
+        if config.island_leakage_multipliers is not None:
+            self.leakage_multipliers = island_multipliers_to_cores(
+                config.island_leakage_multipliers, config.cores_per_island
+            )
+        else:
+            self.leakage_multipliers = uniform_multipliers(config.n_cores)
+
+        # Islands start at the top operating point (the no-management state).
+        self.island_frequency = np.full(config.n_islands, self.dvfs.f_max)
+
+        # Per-benchmark peak throughput (useful for reporting; utilization
+        # itself is the active-cycle-rate fraction, see compute_interval).
+        self.ips_peak = np.array(
+            [
+                utilization_reference(spec, self.dvfs.f_max, config.memory)
+                for spec in self.specs
+            ]
+        )
+
+        self._init_normalization()
+
+    # ------------------------------------------------------------------
+    # Normalization
+    # ------------------------------------------------------------------
+    def _init_normalization(self) -> None:
+        v_max = float(self.dvfs.voltages[-1])
+        f_max = self.dvfs.f_max
+        per_core_max = self.power_model.power(
+            v_max,
+            f_max,
+            busy=1.0,
+            alpha=1.0,
+            temperature_c=self.power_model.leakage.nominal_temperature_c,
+            leakage_multiplier=self.leakage_multipliers,
+        )
+        cores_max = float(np.sum(per_core_max))
+        uncore_fraction = self.config.uncore_fraction
+        self.uncore_power_w = cores_max * uncore_fraction / (1.0 - uncore_fraction)
+        self.max_power_w = cores_max + self.uncore_power_w
+        self._per_core_max_w = np.asarray(per_core_max, dtype=float)
+
+    @property
+    def uncore_fraction(self) -> float:
+        """Uncore power as a fraction of max chip power (always drawn)."""
+        return self.uncore_power_w / self.max_power_w
+
+    def island_power_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Static per-island (min, max) power as fractions of max power.
+
+        Max: every core fully active at the top point.  Min: every core
+        idle (clock-gating floor) at the bottom point.  Real consumption
+        always lies between; the bounds keep GPM set-points sane.
+        """
+        n_islands = self.config.n_islands
+        v_min = float(self.dvfs.voltages[0])
+        f_min = self.dvfs.f_min
+        per_core_min = self.power_model.power(
+            v_min,
+            f_min,
+            busy=0.0,
+            alpha=1.0,
+            temperature_c=self.power_model.leakage.nominal_temperature_c,
+            leakage_multiplier=self.leakage_multipliers,
+        )
+        min_frac = np.array(
+            [
+                float(np.sum(np.asarray(per_core_min)[self.island_of_core == i]))
+                for i in range(n_islands)
+            ]
+        ) / self.max_power_w
+        max_frac = np.array(
+            [
+                float(np.sum(self._per_core_max_w[self.island_of_core == i]))
+                for i in range(n_islands)
+            ]
+        ) / self.max_power_w
+        return min_frac, max_frac
+
+    # ------------------------------------------------------------------
+    # Actuation
+    # ------------------------------------------------------------------
+    def set_island_frequency(self, island: int, frequency_ghz: float) -> float:
+        """Apply a frequency request to an island; returns what was applied.
+
+        The request is clamped to the ladder's range and, in quantized
+        mode, snapped to the nearest table point — the actuator semantics
+        of the paper's architecture.
+        """
+        if not 0 <= island < self.config.n_islands:
+            raise IndexError(f"island {island} out of range")
+        f = self.dvfs.clamp(frequency_ghz)
+        if self.config.dvfs.mode == "quantized":
+            f = self.dvfs.quantize(f)
+        self.island_frequency[island] = f
+        return float(f)
+
+    def core_frequencies(self) -> np.ndarray:
+        """Per-core frequency vector implied by island settings."""
+        return self.island_frequency[self.island_of_core]
+
+    # ------------------------------------------------------------------
+    # Per-interval evaluation
+    # ------------------------------------------------------------------
+    def compute_interval(
+        self,
+        alpha: np.ndarray,
+        cpi_base: np.ndarray,
+        l1_mpki: np.ndarray,
+        l2_mpki: np.ndarray,
+        dt: float,
+        transitioned_islands: np.ndarray | None = None,
+    ) -> IntervalResult:
+        """Evaluate one interval under the current island frequencies.
+
+        ``transitioned_islands`` flags islands whose V/F changed entering
+        this interval; their cores lose the DVFS transition overhead
+        (0.5% of CPU time, during which no instructions execute).
+        """
+        cfg = self.config
+        n_cores = cfg.n_cores
+        for name, arr in (
+            ("alpha", alpha),
+            ("cpi_base", cpi_base),
+            ("l1_mpki", l1_mpki),
+            ("l2_mpki", l2_mpki),
+        ):
+            if np.shape(arr) != (n_cores,):
+                raise ValueError(f"{name} must have one entry per core")
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+
+        freq = self.core_frequencies()
+        volt = np.asarray(self.dvfs.voltage_at(freq))
+
+        perf = cpi_stack(freq, alpha, cpi_base, l1_mpki, l2_mpki, cfg.memory)
+
+        effective_dt = np.full(n_cores, dt)
+        if transitioned_islands is not None:
+            mask = np.asarray(transitioned_islands, dtype=bool)[self.island_of_core]
+            effective_dt = np.where(
+                mask, dt * (1.0 - cfg.dvfs.transition_overhead), dt
+            )
+        instructions = perf.ips * effective_dt
+
+        temperatures = self.thermal.temperatures
+        core_power = self.power_model.power(
+            volt,
+            freq,
+            busy=perf.busy,
+            alpha=alpha,
+            temperature_c=temperatures,
+            leakage_multiplier=self.leakage_multipliers,
+        )
+        core_power = np.asarray(core_power, dtype=float)
+
+        island_power = np.zeros(cfg.n_islands)
+        island_bips = np.zeros(cfg.n_islands)
+        island_util = np.zeros(cfg.n_islands)
+        # Utilization = switching-activity-weighted cycle rate relative to
+        # the peak cycle rate: the perf-counter quantity the PIC's sensor
+        # reads.  Monotone in frequency for every workload class, which is
+        # what makes the Figure 6 linear fits tight.
+        activity = self.power_model.dynamic.core_activity(perf.busy, alpha)
+        utilization = np.asarray(activity) * freq / self.dvfs.f_max
+        np.add.at(island_power, self.island_of_core, core_power)
+        np.add.at(island_bips, self.island_of_core, instructions / effective_dt / 1e9)
+        np.add.at(island_util, self.island_of_core, utilization)
+        island_util /= cfg.cores_per_island
+
+        chip_power = float(island_power.sum() + self.uncore_power_w)
+
+        new_temps = self.thermal.step(core_power, dt)
+
+        return IntervalResult(
+            dt=dt,
+            core_busy=perf.busy,
+            core_ips=perf.ips,
+            core_instructions=instructions,
+            core_power_w=core_power,
+            core_utilization=utilization,
+            core_temperature_c=new_temps.copy(),
+            island_power_w=island_power,
+            island_power_frac=island_power / self.max_power_w,
+            island_bips=island_bips,
+            island_utilization=island_util,
+            island_frequency_ghz=self.island_frequency.copy(),
+            chip_power_w=chip_power,
+            chip_power_frac=chip_power / self.max_power_w,
+            chip_bips=float(island_bips.sum()),
+        )

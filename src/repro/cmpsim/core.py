@@ -1,0 +1,129 @@
+"""The analytic CPI stack: (workload state, frequency) → performance.
+
+The model is the standard interval decomposition::
+
+    CPI(f) = CPI_base                       # compute + on-core stalls
+           + (L1_MPKI / 1000) * lat_L2      # L1 misses hitting shared L2
+           + (L2_MPKI / 1000) * lat_mem * f # off-chip misses
+
+The last term is where frequency sensitivity lives: the L2 hit latency is
+on-chip and counted in *cycles* (constant as the clock scales), while the
+memory latency is off-chip and fixed in *seconds*, so it costs more cycles
+at higher frequency.  A memory-bound workload (large L2 MPKI) therefore
+gains little throughput from frequency — the effect every performance
+result in the paper turns on.
+
+Throughput and the two power-relevant fractions are derived from the same
+stack::
+
+    IPS        = alpha * f / CPI(f)                  # instructions/second
+    busy       = (CPI_base + L1 term) / CPI(f)       # unstalled cycles
+    utilization= IPS / IPS_peak                      # counter-style "CPU %"
+
+``alpha`` is the phase's architectural activity (issue occupancy and
+synchronization idling folded together); ``IPS_peak`` is the benchmark's
+retirement capability at maximum frequency, making utilization the
+fraction-of-peak-throughput quantity a perf-counter-based sensor reports.
+
+Everything is vectorized over cores — inputs may be scalars or aligned
+arrays (one entry per core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import MemoryConfig
+from ..workloads.benchmark import BenchmarkSpec
+
+
+@dataclass(frozen=True)
+class CPIStackResult:
+    """Per-core performance quantities for one interval (arrays or scalars)."""
+
+    cpi: np.ndarray
+    busy: np.ndarray
+    ips: np.ndarray  # instructions per second
+
+
+def memory_cycles_per_instruction(
+    l2_mpki: np.ndarray | float,
+    frequency_ghz: np.ndarray | float,
+    memory: MemoryConfig,
+) -> np.ndarray | float:
+    """Off-chip stall cycles per instruction at ``frequency_ghz``."""
+    latency_ns = memory.memory_latency_s * 1e9
+    return np.asarray(l2_mpki) / 1000.0 * latency_ns * np.asarray(frequency_ghz)
+
+
+def cpi_stack(
+    frequency_ghz: np.ndarray | float,
+    alpha: np.ndarray | float,
+    cpi_base: np.ndarray | float,
+    l1_mpki: np.ndarray | float,
+    l2_mpki: np.ndarray | float,
+    memory: MemoryConfig,
+) -> CPIStackResult:
+    """Evaluate the CPI stack; all array arguments must be aligned."""
+    f = np.asarray(frequency_ghz, dtype=float)
+    if np.any(f <= 0):
+        raise ValueError("frequency must be positive")
+    a = np.asarray(alpha, dtype=float)
+    if np.any(a <= 0) or np.any(a > 1):
+        raise ValueError("alpha must be in (0, 1]")
+
+    onchip = np.asarray(cpi_base) + np.asarray(l1_mpki) / 1000.0 * memory.l2_hit_cycles
+    offchip = memory_cycles_per_instruction(l2_mpki, f, memory)
+    cpi = onchip + offchip
+    busy = onchip / cpi
+    ips = a * f * 1e9 / cpi
+    return CPIStackResult(
+        cpi=np.asarray(cpi, dtype=float),
+        busy=np.asarray(busy, dtype=float),
+        ips=np.asarray(ips, dtype=float),
+    )
+
+
+def utilization_reference(
+    spec: BenchmarkSpec, f_max: float, memory: MemoryConfig
+) -> float:
+    """The benchmark's peak IPS: full activity at ``f_max``, mean phase.
+
+    Per-core utilization is reported relative to this constant, so a core
+    at maximum frequency with typical activity reads ~``mean alpha``, and
+    memory-bound cores saturate well below 1 — the counter behaviour the
+    transducer of Figure 6 is fitted against.
+    """
+    result = cpi_stack(
+        f_max,
+        alpha=1.0,
+        cpi_base=spec.mean_cpi_base,
+        l1_mpki=float(np.mean([p.l1_mpki for p in spec.phases])),
+        l2_mpki=spec.mean_l2_mpki,
+        memory=memory,
+    )
+    return float(result.ips)
+
+
+def frequency_speedup(
+    f_from: float,
+    f_to: float,
+    cpi_onchip: float,
+    mem_cpi_per_ghz: float,
+) -> float:
+    """Predicted throughput ratio when scaling ``f_from`` → ``f_to``.
+
+    ``mem_cpi_per_ghz`` is the off-chip term's frequency coefficient
+    (``L2_MPKI/1000 * lat_mem_ns``); both inputs are observable from
+    performance counters, which is how MaxBIPS builds its prediction
+    table.
+    """
+    if f_from <= 0 or f_to <= 0:
+        raise ValueError("frequencies must be positive")
+    if cpi_onchip <= 0:
+        raise ValueError("cpi_onchip must be positive")
+    ips_from = f_from / (cpi_onchip + mem_cpi_per_ghz * f_from)
+    ips_to = f_to / (cpi_onchip + mem_cpi_per_ghz * f_to)
+    return ips_to / ips_from

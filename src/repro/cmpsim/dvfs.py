@@ -1,0 +1,104 @@
+"""DVFS operating points: the Pentium-M-style V/F ladder of Table I.
+
+A :class:`DVFSTable` owns the discrete (frequency, voltage) pairs an
+island supports and answers the three questions actuation needs:
+
+* what voltage accompanies a frequency (piecewise-linear interpolation in
+  continuous mode — the paper's PID analysis treats frequency as a
+  continuous actuator within the ladder's range);
+* which table entry a requested frequency snaps to (quantized mode, used
+  by MaxBIPS);
+* what the actuation bounds are.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..config import PENTIUM_M_VF_TABLE
+
+
+class DVFSTable:
+    """The discrete voltage/frequency operating points of an island."""
+
+    def __init__(
+        self, vf_pairs: Sequence[Tuple[float, float]] = PENTIUM_M_VF_TABLE
+    ) -> None:
+        if len(vf_pairs) < 2:
+            raise ValueError("need at least two operating points")
+        freqs = np.array([f for f, _ in vf_pairs], dtype=float)
+        volts = np.array([v for _, v in vf_pairs], dtype=float)
+        if np.any(np.diff(freqs) <= 0):
+            raise ValueError("frequencies must be strictly increasing")
+        if np.any(np.diff(volts) < 0):
+            raise ValueError("voltage must be non-decreasing with frequency")
+        if np.any(freqs <= 0) or np.any(volts <= 0):
+            raise ValueError("frequencies and voltages must be positive")
+        self.frequencies = freqs
+        self.voltages = volts
+
+    @property
+    def f_min(self) -> float:
+        return float(self.frequencies[0])
+
+    @property
+    def f_max(self) -> float:
+        return float(self.frequencies[-1])
+
+    @property
+    def n_points(self) -> int:
+        return int(self.frequencies.size)
+
+    def clamp(self, frequency: float | np.ndarray) -> float | np.ndarray:
+        """Restrict a requested frequency to the ladder's range."""
+        result = np.clip(frequency, self.f_min, self.f_max)
+        if np.isscalar(frequency):
+            return float(result)
+        return result
+
+    def voltage_at(self, frequency: float | np.ndarray) -> float | np.ndarray:
+        """Supply voltage for ``frequency`` (piecewise-linear between points).
+
+        Frequencies outside the ladder raise: actuation must clamp first,
+        and silent extrapolation would hide actuator bugs.
+        """
+        f = np.asarray(frequency, dtype=float)
+        if np.any(f < self.f_min - 1e-12) or np.any(f > self.f_max + 1e-12):
+            raise ValueError(
+                f"frequency {frequency} outside ladder "
+                f"[{self.f_min}, {self.f_max}] GHz"
+            )
+        result = np.interp(f, self.frequencies, self.voltages)
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    def quantize(self, frequency: float) -> float:
+        """Nearest discrete operating frequency."""
+        f = self.clamp(frequency)
+        index = int(np.argmin(np.abs(self.frequencies - f)))
+        return float(self.frequencies[index])
+
+    def quantize_down(self, frequency: float) -> float:
+        """Highest discrete frequency not exceeding ``frequency``.
+
+        This is the conservative snap a budget-respecting scheme (MaxBIPS)
+        uses: never round up into a higher power state.
+        """
+        f = self.clamp(frequency)
+        index = int(np.searchsorted(self.frequencies, f + 1e-12) - 1)
+        index = max(index, 0)
+        return float(self.frequencies[index])
+
+    def index_of(self, frequency: float) -> int:
+        """Table index of an exact operating frequency."""
+        matches = np.flatnonzero(np.isclose(self.frequencies, frequency))
+        if matches.size == 0:
+            raise ValueError(f"{frequency} GHz is not a table operating point")
+        return int(matches[0])
+
+    def operating_points(self) -> list[Tuple[float, float]]:
+        """All (frequency GHz, voltage V) pairs, ascending."""
+        return list(zip(self.frequencies.tolist(), self.voltages.tolist()))

@@ -1,0 +1,252 @@
+"""The simulation driver: workloads + chip + a pluggable power scheme.
+
+A :class:`PowerScheme` is anything that manages power: the paper's CPM
+(GPM + PICs), the MaxBIPS baseline, or no management at all.  The driver
+owns the two-rate cadence of Figure 4 — it calls ``on_gpm`` every GPM
+interval and ``on_pic`` every PIC interval — and evaluates the chip once
+per PIC interval.
+
+Measurement semantics: a scheme invoked at tick *t* sees measurements up
+to and including tick *t-1* (``sim.last_result`` plus the aggregated GPM
+windows) and actuates frequencies that take effect *during* tick *t* —
+the causal ordering a real controller lives with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from ..config import CMPConfig
+from ..rng import DEFAULT_SEED, SeedSequenceFactory
+from ..workloads.benchmark import BenchmarkInstance
+from ..workloads.mixes import Mix, mix_for_config
+from .chip import Chip, IntervalResult
+from .telemetry import Telemetry, WindowStats
+
+
+@runtime_checkable
+class PowerScheme(Protocol):
+    """Power-management plug-in interface."""
+
+    name: str
+
+    def bind(self, sim: "Simulation") -> None:
+        """Called once before the run starts; build controllers here."""
+
+    def on_gpm(self, sim: "Simulation") -> None:
+        """Called every GPM interval (coarse tier), before ``on_pic``."""
+
+    def on_pic(self, sim: "Simulation") -> None:
+        """Called every PIC interval (fine tier); actuate frequencies."""
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulated run."""
+
+    telemetry: Telemetry
+    config: CMPConfig
+    mix_name: str
+    scheme_name: str
+    budget_fraction: float
+    duration_s: float
+    total_instructions: float
+
+    @property
+    def mean_chip_bips(self) -> float:
+        return float(np.mean(self.telemetry["chip_bips"]))
+
+    @property
+    def mean_chip_power_frac(self) -> float:
+        return float(np.mean(self.telemetry["chip_power_frac"]))
+
+
+class Simulation:
+    """One simulated run of a CMP under a power-management scheme."""
+
+    def __init__(
+        self,
+        config: CMPConfig,
+        scheme: PowerScheme,
+        mix: Mix | None = None,
+        budget_fraction: float = 0.8,
+        seed: int = DEFAULT_SEED,
+        instances: list | None = None,
+    ) -> None:
+        """``instances`` overrides the default per-core workload
+        construction with pre-built ones (e.g. a
+        :class:`~repro.workloads.recorded.RecordedWorkload` replay); one
+        entry per core, each exposing ``advance()`` and ``retire()``."""
+        if not 0.0 < budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be in (0, 1]")
+        self.config = config
+        self.scheme = scheme
+        self.mix = mix_for_config(config, mix)
+        if self.mix.n_cores != config.n_cores or self.mix.n_islands != config.n_islands:
+            raise ValueError(
+                f"mix {self.mix.name} shape ({self.mix.n_cores} cores, "
+                f"{self.mix.n_islands} islands) does not match config "
+                f"({config.n_cores} cores, {config.n_islands} islands)"
+            )
+        self.budget_fraction = budget_fraction
+        self.seeds = SeedSequenceFactory(seed)
+
+        specs = self.mix.specs()
+        self.chip = Chip(config, specs)
+        if instances is not None:
+            if len(instances) != config.n_cores:
+                raise ValueError(
+                    f"need one workload instance per core "
+                    f"({config.n_cores}), got {len(instances)}"
+                )
+            self.instances = list(instances)
+        else:
+            self.instances = [
+                BenchmarkInstance(
+                    spec, self.seeds.generator(f"workload/core{i}/{spec.name}")
+                )
+                for i, spec in enumerate(specs)
+            ]
+        self.telemetry = Telemetry(
+            n_islands=config.n_islands, n_cores=config.n_cores
+        )
+
+        #: Current per-island power set-points, fraction of max chip power.
+        #: The GPM tier writes these; the PIC tier tracks them.
+        self.setpoints = np.zeros(config.n_islands)
+        #: Per-island power as last *sensed* through the utilization
+        #: transducer (what the PIC believes); schemes update it.
+        self.sensed_power = np.zeros(config.n_islands)
+        self.last_result: IntervalResult | None = None
+        self.tick = 0
+        self.time_s = 0.0
+
+        # GPM-window accumulators.
+        self._window_sums: dict[str, np.ndarray] | None = None
+        self._window_ticks = 0
+
+    # ------------------------------------------------------------------
+    # Quantities schemes need
+    # ------------------------------------------------------------------
+    @property
+    def distributable_budget(self) -> float:
+        """Budget available to islands: chip budget minus the uncore share."""
+        return max(0.0, self.budget_fraction - self.chip.uncore_fraction)
+
+    @property
+    def windows(self) -> list[WindowStats]:
+        """Completed GPM-window aggregates, oldest first."""
+        return self.telemetry.windows
+
+    # ------------------------------------------------------------------
+    # Window accounting
+    # ------------------------------------------------------------------
+    def _reset_window(self) -> None:
+        n = self.config.n_islands
+        self._window_sums = {
+            "power": np.zeros(n),
+            "bips": np.zeros(n),
+            "util": np.zeros(n),
+            "energy": np.zeros(n),
+            "instructions": np.zeros(n),
+        }
+        self._window_ticks = 0
+
+    def _accumulate_window(self, result: IntervalResult) -> None:
+        assert self._window_sums is not None
+        sums = self._window_sums
+        sums["power"] += result.island_power_frac
+        sums["bips"] += result.island_bips
+        sums["util"] += result.island_utilization
+        sums["energy"] += result.island_power_w * result.dt
+        core_instr = result.core_instructions
+        np.add.at(sums["instructions"], self.chip.island_of_core, core_instr)
+        self._window_ticks += 1
+
+    def _complete_window(self) -> None:
+        if self._window_sums is None or self._window_ticks == 0:
+            return
+        n = self._window_ticks
+        sums = self._window_sums
+        self.telemetry.push_window(
+            WindowStats(
+                island_power_frac=sums["power"] / n,
+                island_bips=sums["bips"] / n,
+                island_utilization=sums["util"] / n,
+                island_setpoints=self.setpoints.copy(),
+                island_energy_j=sums["energy"].copy(),
+                island_instructions=sums["instructions"].copy(),
+                duration_s=n * self.config.control.pic_interval_s,
+            )
+        )
+        self._reset_window()
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, n_gpm_intervals: int) -> SimulationResult:
+        """Simulate ``n_gpm_intervals`` GPM windows; returns the result."""
+        if n_gpm_intervals < 1:
+            raise ValueError("need at least one GPM interval")
+        cfg = self.config
+        dt = cfg.control.pic_interval_s
+        pics_per_gpm = cfg.control.pics_per_gpm
+        n_cores = cfg.n_cores
+
+        self.scheme.bind(self)
+        self._reset_window()
+
+        alpha = np.empty(n_cores)
+        cpi_base = np.empty(n_cores)
+        l1_mpki = np.empty(n_cores)
+        l2_mpki = np.empty(n_cores)
+
+        total_ticks = n_gpm_intervals * pics_per_gpm
+        for _ in range(total_ticks):
+            for i, instance in enumerate(self.instances):
+                sample = instance.advance()
+                alpha[i] = sample.alpha
+                cpi_base[i] = sample.cpi_base
+                l1_mpki[i] = sample.l1_mpki
+                l2_mpki[i] = sample.l2_mpki
+
+            is_gpm_tick = self.tick % pics_per_gpm == 0
+            if is_gpm_tick:
+                self._complete_window()
+                self.scheme.on_gpm(self)
+
+            previous_freq = self.chip.island_frequency.copy()
+            self.scheme.on_pic(self)
+            transitioned = (
+                np.abs(self.chip.island_frequency - previous_freq) > 1e-9
+            )
+
+            result = self.chip.compute_interval(
+                alpha, cpi_base, l1_mpki, l2_mpki, dt, transitioned
+            )
+            for i, instance in enumerate(self.instances):
+                instance.retire(float(result.core_instructions[i]))
+
+            self._accumulate_window(result)
+            self.telemetry.record(
+                self.time_s, result, self.setpoints, self.sensed_power, is_gpm_tick
+            )
+            self.last_result = result
+            self.tick += 1
+            self.time_s += dt
+
+        self._complete_window()
+        return SimulationResult(
+            telemetry=self.telemetry,
+            config=cfg,
+            mix_name=self.mix.name,
+            scheme_name=self.scheme.name,
+            budget_fraction=self.budget_fraction,
+            duration_s=self.time_s,
+            total_instructions=float(
+                sum(inst.instructions_retired for inst in self.instances)
+            ),
+        )

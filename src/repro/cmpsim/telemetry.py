@@ -1,0 +1,146 @@
+"""Per-interval telemetry recording and windowed aggregation.
+
+The simulator appends one record per PIC interval; :meth:`Telemetry.finalize`
+turns the buffers into NumPy arrays the experiments slice.  GPM-window
+aggregation (per-island mean power/BIPS between two GPM invocations) lives
+here too because both the GPM policies and the figures need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from .chip import IntervalResult
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Aggregates over one completed GPM window (several PIC intervals)."""
+
+    #: Mean per-island power over the window, fraction of max chip power.
+    island_power_frac: np.ndarray
+    #: Mean per-island throughput over the window, BIPS.
+    island_bips: np.ndarray
+    #: Mean per-island utilization over the window.
+    island_utilization: np.ndarray
+    #: Island set-points in force during the window (fractions).
+    island_setpoints: np.ndarray
+    #: Total energy consumed per island over the window, joules.
+    island_energy_j: np.ndarray
+    #: Instructions retired per island over the window.
+    island_instructions: np.ndarray
+    duration_s: float
+
+
+@dataclass
+class Telemetry:
+    """Append-only record of a simulation run."""
+
+    n_islands: int
+    n_cores: int
+    _records: Dict[str, List] = field(default_factory=dict)
+    _windows: List[WindowStats] = field(default_factory=list)
+    _finalized: Dict[str, np.ndarray] | None = None
+
+    _SERIES = (
+        "time_s",
+        "island_setpoint_frac",
+        "island_power_frac",
+        "island_sensed_frac",
+        "island_frequency_ghz",
+        "island_utilization",
+        "island_bips",
+        "chip_power_frac",
+        "chip_bips",
+        "core_temperature_c",
+        "core_utilization",
+        "is_gpm_tick",
+    )
+
+    def __post_init__(self) -> None:
+        for key in self._SERIES:
+            self._records[key] = []
+
+    def record(
+        self,
+        time_s: float,
+        result: IntervalResult,
+        setpoints: np.ndarray,
+        sensed: np.ndarray,
+        is_gpm_tick: bool,
+    ) -> None:
+        """Append one interval's worth of data."""
+        if self._finalized is not None:
+            raise RuntimeError("telemetry already finalized")
+        rec = self._records
+        rec["time_s"].append(time_s)
+        rec["island_setpoint_frac"].append(np.array(setpoints, dtype=float))
+        rec["island_power_frac"].append(result.island_power_frac.copy())
+        rec["island_sensed_frac"].append(np.array(sensed, dtype=float))
+        rec["island_frequency_ghz"].append(result.island_frequency_ghz.copy())
+        rec["island_utilization"].append(result.island_utilization.copy())
+        rec["island_bips"].append(result.island_bips.copy())
+        rec["chip_power_frac"].append(result.chip_power_frac)
+        rec["chip_bips"].append(result.chip_bips)
+        rec["core_temperature_c"].append(result.core_temperature_c.copy())
+        rec["core_utilization"].append(result.core_utilization.copy())
+        rec["is_gpm_tick"].append(bool(is_gpm_tick))
+
+    def push_window(self, window: WindowStats) -> None:
+        """Record aggregates for a completed GPM window."""
+        self._windows.append(window)
+
+    @property
+    def windows(self) -> List[WindowStats]:
+        return self._windows
+
+    @property
+    def n_intervals(self) -> int:
+        return len(self._records["time_s"])
+
+    def finalize(self) -> Dict[str, np.ndarray]:
+        """Convert the buffers into arrays (idempotent)."""
+        if self._finalized is None:
+            out: Dict[str, np.ndarray] = {}
+            for key, values in self._records.items():
+                out[key] = np.asarray(values)
+            self._finalized = out
+        return self._finalized
+
+    def __getitem__(self, key: str) -> np.ndarray:
+        """Array access, finalizing on first use."""
+        arrays = self.finalize()
+        if key not in arrays:
+            raise KeyError(f"unknown telemetry series {key!r}; have {sorted(arrays)}")
+        return arrays[key]
+
+    # ------------------------------------------------------------------
+    # Analysis helpers used by experiments
+    # ------------------------------------------------------------------
+    def gpm_tick_indices(self) -> np.ndarray:
+        """Interval indices at which the GPM ran."""
+        return np.flatnonzero(self["is_gpm_tick"])
+
+    def tracking_segments(self) -> List[tuple[np.ndarray, np.ndarray]]:
+        """Per GPM window, per island: (actual series, setpoint) segments.
+
+        Returns a flat list of (power series, constant setpoint array of
+        length 1) ... one tuple per (window, island).  Used by the
+        robustness-metric experiments (Figures 9/10).
+        """
+        ticks = self.gpm_tick_indices()
+        power = self["island_power_frac"]
+        setpoints = self["island_setpoint_frac"]
+        segments: List[tuple[np.ndarray, np.ndarray]] = []
+        boundaries = list(ticks) + [self.n_intervals]
+        for start, end in zip(boundaries[:-1], boundaries[1:]):
+            if end <= start:
+                continue
+            for island in range(self.n_islands):
+                segments.append(
+                    (power[start:end, island], setpoints[start, island : island + 1])
+                )
+        return segments

@@ -1,0 +1,134 @@
+"""Robustness metrics of a tracking response.
+
+Section II of the paper defines the three metrics a power controller is
+judged by, and Section IV reports them for the PIC:
+
+* **maximum overshoot** — how far the observed output exceeds the
+  reference, as a fraction of the reference;
+* **settling time** — the number of controller invocations until the
+  output stays inside a tolerance band around the reference;
+* **steady-state error** — the remaining offset once settled.
+
+:func:`response_metrics` computes all three from a recorded series, and
+:func:`step_response` produces the series analytically from a closed-loop
+transfer function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .lti import DiscreteTransferFunction
+
+
+@dataclass(frozen=True)
+class ResponseMetrics:
+    """The paper's three controller-robustness metrics for one response."""
+
+    #: max(output - reference) / reference; 0.0 when never exceeded.
+    max_overshoot: float
+    #: max(reference - output) / reference over the settled region... kept
+    #: symmetric with overshoot: largest dip below the reference.
+    max_undershoot: float
+    #: First step index after which the output stays within the tolerance
+    #: band forever; ``None`` if the response never settles.
+    settling_steps: int | None
+    #: |mean(output) - reference| / reference over the settled tail;
+    #: ``nan`` when the response never settles.
+    steady_state_error: float
+
+    @property
+    def settled(self) -> bool:
+        return self.settling_steps is not None
+
+
+def response_metrics(
+    output: np.ndarray | list[float],
+    reference: float,
+    tolerance: float = 0.02,
+    tail_fraction: float = 0.25,
+) -> ResponseMetrics:
+    """Compute overshoot / settling / steady-state error for one response.
+
+    Parameters
+    ----------
+    output:
+        The observed output series, one sample per controller invocation.
+    reference:
+        The constant reference the controller tracked (must be non-zero —
+        the metrics are relative).
+    tolerance:
+        Half-width of the settling band as a fraction of the reference
+        (default 2%).
+    tail_fraction:
+        Fraction of the series (from the end) used to average the
+        steady-state error when the response settled late or not at all
+        inside the band; guards against reporting a single noisy sample.
+    """
+    y = np.asarray(output, dtype=float)
+    if y.ndim != 1 or y.size == 0:
+        raise ValueError("output must be a non-empty 1-D series")
+    if reference == 0.0:
+        raise ValueError("reference must be non-zero for relative metrics")
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError("tolerance must be in (0, 1)")
+
+    rel = (y - reference) / abs(reference)
+    max_overshoot = float(max(rel.max(), 0.0))
+    max_undershoot = float(max((-rel).max(), 0.0))
+
+    inside = np.abs(rel) <= tolerance
+    settling: int | None = None
+    # Find the first index from which the series never leaves the band.
+    outside_indices = np.flatnonzero(~inside)
+    if outside_indices.size == 0:
+        settling = 0
+    elif outside_indices[-1] + 1 < y.size:
+        settling = int(outside_indices[-1] + 1)
+
+    tail_len = max(1, int(round(y.size * tail_fraction)))
+    if settling is not None:
+        tail = y[max(settling, y.size - tail_len) :]
+        sse = float(abs(tail.mean() - reference) / abs(reference))
+    else:
+        sse = float("nan")
+    return ResponseMetrics(max_overshoot, max_undershoot, settling, sse)
+
+
+def step_response(
+    closed_loop_tf: DiscreteTransferFunction,
+    n_steps: int = 50,
+    amplitude: float = 1.0,
+) -> np.ndarray:
+    """Response of the closed loop to a reference step of ``amplitude``."""
+    return closed_loop_tf.step_response(n_steps) * amplitude
+
+
+def worst_case_metrics(
+    responses: list[np.ndarray],
+    references: list[float],
+    tolerance: float = 0.02,
+) -> ResponseMetrics:
+    """Aggregate: the worst overshoot/undershoot/settling over many segments.
+
+    The paper reports "the maximum overshoot ... is bounded within 4%" over
+    all islands and all GPM intervals; this helper computes exactly that
+    kind of bound from per-segment responses.
+    """
+    if len(responses) != len(references) or not responses:
+        raise ValueError("need one reference per response, at least one response")
+    per_segment = [
+        response_metrics(resp, ref, tolerance=tolerance)
+        for resp, ref in zip(responses, references)
+    ]
+    settlings = [m.settling_steps for m in per_segment]
+    worst_settling = None if any(s is None for s in settlings) else max(settlings)
+    sses = [m.steady_state_error for m in per_segment if m.settled]
+    return ResponseMetrics(
+        max_overshoot=max(m.max_overshoot for m in per_segment),
+        max_undershoot=max(m.max_undershoot for m in per_segment),
+        settling_steps=worst_settling,
+        steady_state_error=max(sses) if sses else float("nan"),
+    )

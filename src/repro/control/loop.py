@@ -1,0 +1,107 @@
+"""The generic feedback loop of the paper's Figure 2.
+
+A control loop has five roles: the *plant* being controlled, a *sensor*
+observing it, a *transducer* converting the observation into the
+reference's units, a *controller* turning the error into a command, and an
+*actuator* applying the command to the plant.  The PIC instantiates these
+roles with (island, utilization counter, utilization→power line, PID,
+DVFS knob); the abstraction is exposed publicly so users can build other
+loops (the tests build a thermostat to validate it independently).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Plant(Protocol):
+    """The system under control: advances one interval per ``step`` call."""
+
+    def step(self) -> None:
+        """Advance the plant by one control interval."""
+
+
+@runtime_checkable
+class Sensor(Protocol):
+    """Observes the plant's measurable output (paper: CPU utilization)."""
+
+    def read(self) -> float:
+        """Return the current raw measurement."""
+
+
+@runtime_checkable
+class Controller(Protocol):
+    """Maps tracking error to an actuation command (paper: PID)."""
+
+    def step(self, error: float) -> float:
+        """Return the command for this interval given the current error."""
+
+
+@runtime_checkable
+class Actuator(Protocol):
+    """Applies a command to the plant (paper: the DVFS knob)."""
+
+    def apply(self, command: float) -> None:
+        """Exercise the hardware knob."""
+
+
+#: A transducer is just a function from sensor units to reference units
+#: (paper: the fitted utilization -> power line).
+Transducer = Callable[[float], float]
+
+
+@dataclass
+class LoopRecord:
+    """Telemetry of a single loop iteration."""
+
+    reference: float
+    measurement: float
+    transduced: float
+    error: float
+    command: float
+
+
+class FeedbackLoop:
+    """Wires sensor → transducer → controller → actuator → plant.
+
+    One :meth:`iterate` call performs one control interval: read the
+    sensor, convert, compare to the reference, control, actuate, then let
+    the plant evolve.  The loop keeps a bounded-interface grip on its
+    components so any conforming objects can be composed.
+    """
+
+    def __init__(
+        self,
+        plant: Plant,
+        sensor: Sensor,
+        transducer: Transducer,
+        controller: Controller,
+        actuator: Actuator,
+    ) -> None:
+        self.plant = plant
+        self.sensor = sensor
+        self.transducer = transducer
+        self.controller = controller
+        self.actuator = actuator
+
+    def iterate(self, reference: float) -> LoopRecord:
+        """Run one full loop iteration against ``reference``."""
+        measurement = self.sensor.read()
+        transduced = self.transducer(measurement)
+        error = reference - transduced
+        command = self.controller.step(error)
+        self.actuator.apply(command)
+        self.plant.step()
+        return LoopRecord(
+            reference=reference,
+            measurement=measurement,
+            transduced=transduced,
+            error=error,
+            command=command,
+        )
+
+    def run(self, references: list[float]) -> list[LoopRecord]:
+        """Run one iteration per entry of ``references``; return telemetry."""
+        return [self.iterate(ref) for ref in references]

@@ -1,0 +1,44 @@
+"""CPM — the paper's contribution: coordinated two-tier power management.
+
+* :mod:`repro.core.calibration` — the offline pipeline of Section II:
+  white-noise DVFS excitation runs, system-gain identification
+  (Equation 8 / Figure 5), utilization→power transducer fits (Figure 6),
+  pole-placement PID design and the stability-margin analysis
+  (Equations 12–13).
+* :mod:`repro.core.cpm` — :class:`CPMScheme`, wiring a
+  :class:`~repro.gpm.manager.GlobalPowerManager` over per-island
+  :class:`~repro.pic.controller.PerIslandController` instances into the
+  simulator's two-rate cadence, plus the :func:`run_cpm` convenience
+  entry point.
+* :mod:`repro.core.metrics` — performance degradation against the
+  no-management reference and budget-tracking robustness metrics.
+"""
+
+from .calibration import (
+    Calibration,
+    WhiteNoiseDVFSScheme,
+    calibrate,
+    default_calibration,
+)
+from .cpm import CPMScheme, run_cpm
+from .metrics import (
+    budget_from_percent,
+    chip_tracking_metrics,
+    island_tracking_metrics,
+    performance_degradation,
+    performance_degradation_series,
+    reference_power,
+)
+
+__all__ = [
+    "CPMScheme",
+    "Calibration",
+    "WhiteNoiseDVFSScheme",
+    "calibrate",
+    "chip_tracking_metrics",
+    "default_calibration",
+    "island_tracking_metrics",
+    "performance_degradation",
+    "performance_degradation_series",
+    "run_cpm",
+]

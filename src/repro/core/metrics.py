@@ -1,0 +1,146 @@
+"""Evaluation metrics: performance degradation and budget tracking.
+
+Two quantities dominate the paper's results section:
+
+* **performance degradation** — throughput loss relative to the
+  no-management run (all cores at maximum frequency).  Runs compared with
+  the *same seed* execute identical workload streams (the phase machines
+  are independent of controller actions), so the comparison is paired.
+* **tracking quality** — how tightly actual power follows the set-points,
+  summarized with the Section II robustness metrics (overshoot, settling
+  time, steady-state error) per GPM window and worst-cased.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from ..config import CMPConfig
+from ..control.analysis import ResponseMetrics, response_metrics, worst_case_metrics
+from ..cmpsim.simulator import SimulationResult
+from ..rng import DEFAULT_SEED
+from ..workloads.mixes import Mix, mix_for_config
+
+
+@functools.lru_cache(maxsize=64)
+def _reference_power_cached(
+    config: CMPConfig, mix: Mix, seed: int, n_gpm_intervals: int
+) -> float:
+    from ..baselines.no_management import NoManagementScheme
+    from ..cmpsim.simulator import Simulation
+
+    sim = Simulation(
+        config, NoManagementScheme(), mix=mix, budget_fraction=1.0, seed=seed
+    )
+    return sim.run(n_gpm_intervals).mean_chip_power_frac
+
+
+def reference_power(
+    config: CMPConfig,
+    mix: Mix | None = None,
+    seed: int = DEFAULT_SEED,
+    n_gpm_intervals: int = 10,
+) -> float:
+    """Mean chip power of the unmanaged run, as a fraction of max power.
+
+    The paper's budgets are "X% of the required power by the whole chip" —
+    the power the chip actually draws with every core at maximum frequency
+    under the given workload, not the theoretical all-active peak.  This
+    memoized helper measures that reference so experiments can translate
+    "80% budget" into an absolute fraction of max chip power.
+    """
+    return _reference_power_cached(config, mix_for_config(config, mix), seed, n_gpm_intervals)
+
+
+def budget_from_percent(
+    percent: float,
+    config: CMPConfig,
+    mix: Mix | None = None,
+    seed: int = DEFAULT_SEED,
+) -> float:
+    """Absolute budget fraction for a paper-style "percent of required
+    power" budget (e.g. ``percent=0.8`` for the default 80% budget)."""
+    if not 0.0 < percent <= 1.5:
+        raise ValueError("percent must be a sane fraction of required power")
+    return percent * reference_power(config, mix, seed)
+
+
+def performance_degradation(
+    managed: SimulationResult, reference: SimulationResult
+) -> float:
+    """Fractional throughput loss of ``managed`` vs ``reference``.
+
+    Uses total retired instructions over the run (robust to interval
+    boundaries).  Negative values mean the managed run was faster, which
+    only happens within noise at a 100% budget.
+    """
+    if reference.total_instructions <= 0:
+        raise ValueError("reference run retired no instructions")
+    return 1.0 - managed.total_instructions / reference.total_instructions
+
+
+def performance_degradation_series(
+    managed: SimulationResult, reference: SimulationResult
+) -> np.ndarray:
+    """Per-GPM-window degradation series (the Figure 14 quantity)."""
+    n = min(len(managed.telemetry.windows), len(reference.telemetry.windows))
+    if n == 0:
+        raise ValueError("runs have no completed GPM windows")
+    out = np.empty(n)
+    for k in range(n):
+        ref_bips = float(reference.telemetry.windows[k].island_bips.sum())
+        got_bips = float(managed.telemetry.windows[k].island_bips.sum())
+        out[k] = 1.0 - got_bips / ref_bips if ref_bips > 0 else 0.0
+    return out
+
+
+def chip_tracking_metrics(
+    result: SimulationResult,
+    tolerance: float = 0.02,
+    skip_intervals: int = 10,
+) -> ResponseMetrics:
+    """How well total chip power tracked the chip-wide budget (Figure 10).
+
+    ``skip_intervals`` drops the initial transient (the controllers start
+    from an arbitrary operating point).
+    """
+    series = result.telemetry["chip_power_frac"][skip_intervals:]
+    if series.size == 0:
+        raise ValueError("run too short for the requested warmup skip")
+    return response_metrics(series, result.budget_fraction, tolerance=tolerance)
+
+
+def island_tracking_metrics(
+    result: SimulationResult,
+    tolerance: float = 0.02,
+    skip_windows: int = 1,
+) -> ResponseMetrics:
+    """Worst-case per-island tracking across GPM windows (Figures 8/9).
+
+    Each GPM window gives every island a constant set-point; the island's
+    power series over that window is one tracking response.  Returns the
+    worst overshoot / settling / steady-state error over all of them.
+    """
+    telemetry = result.telemetry
+    ticks = telemetry.gpm_tick_indices()
+    if ticks.size <= skip_windows:
+        raise ValueError("not enough GPM windows after warmup skip")
+    power = telemetry["island_power_frac"]
+    setpoints = telemetry["island_setpoint_frac"]
+    responses: list[np.ndarray] = []
+    references: list[float] = []
+    boundaries = list(ticks[skip_windows:]) + [telemetry.n_intervals]
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        if end <= start:
+            continue
+        for island in range(telemetry.n_islands):
+            ref = float(setpoints[start, island])
+            if ref <= 0:
+                continue
+            responses.append(power[start:end, island])
+            references.append(ref)
+    if not responses:
+        raise ValueError("no tracking segments found")
+    return worst_case_metrics(responses, references, tolerance=tolerance)

@@ -1,0 +1,38 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(seed=..., quick=False) -> ExperimentResult``
+and is executable (``python -m repro.experiments.fig12_perf_degradation``)
+to print the rows/series the paper reports.  The per-experiment index in
+DESIGN.md maps each module to its figure; EXPERIMENTS.md records
+paper-vs-measured values.
+
+``quick=True`` shrinks horizons for CI-speed smoke runs; the benchmark
+harness under ``benchmarks/`` runs the full versions via
+pytest-benchmark.
+"""
+
+from .common import ExperimentResult
+
+__all__ = ["ExperimentResult"]
+
+#: Module names of every experiment, in paper order.  Used by the test
+#: suite and the ``benchmarks/`` harness to enumerate coverage.
+ALL_EXPERIMENTS = (
+    "fig04_controller_design",
+    "fig05_model_validation",
+    "fig06_power_utilization",
+    "fig07_provisioning",
+    "fig08_island_tracking",
+    "fig09_pic_tracking",
+    "fig10_chip_tracking",
+    "fig11_budget_curves",
+    "fig12_perf_degradation",
+    "fig13_island_size",
+    "fig14_perf_time",
+    "fig15_scalability",
+    "fig16_mix_sensitivity",
+    "fig17_interval_sensitivity",
+    "fig18_thermal",
+    "fig19_variation",
+    "tables",
+)

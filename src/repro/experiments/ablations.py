@@ -1,0 +1,265 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+These go beyond the paper's own figures and quantify why the design is
+the way it is:
+
+* :func:`run_pid_terms` — P vs PI vs PID local controllers (the paper's
+  Section II narrative about what each term buys).
+* :func:`run_quantization` — continuous vs quantized PIC actuation (the
+  source of MaxBIPS's undershoot, applied to CPM itself).
+* :func:`run_transducer` — per-island transducers vs one pooled global
+  line (how much sensing specialization matters).
+* :func:`run_gpm_policy` — proportional vs literal-Eq.6 vs uniform
+  provisioning (what the GPM tier buys over static splits).
+* :func:`run_maxbips_prediction` — static-table vs runtime-informed
+  MaxBIPS (how much of its published handicap is the static table).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..baselines.maxbips import MaxBIPSScheme
+from ..cmpsim.simulator import Simulation
+from ..config import DEFAULT_CONFIG, DVFSConfig
+from ..control.pid import PIDGains
+from ..core.calibration import default_calibration
+from ..core.cpm import CPMScheme, run_cpm
+from ..core.metrics import performance_degradation
+from ..gpm.performance_aware import PerformanceAwarePolicy
+from ..gpm.policy import UniformPolicy
+from ..power.transducer import fit_transducer
+from ..rng import DEFAULT_SEED
+from ..workloads.mixes import MIX1
+from .common import ExperimentResult, WARMUP_INTERVALS, horizon, reference_run
+
+BUDGET = 0.8
+
+
+def _tracking_stats(result) -> tuple[float, float]:
+    """(mean |chip-budget|/budget, std of the same) after warmup."""
+    chip = result.telemetry["chip_power_frac"]
+    skip = min(WARMUP_INTERVALS, chip.size // 3)
+    rel = chip[skip:] / result.budget_fraction - 1.0
+    return float(np.abs(rel).mean()), float(rel.std())
+
+
+def run_pid_terms(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
+    """P vs PI vs PID per-island controllers at the 80% budget."""
+    config = DEFAULT_CONFIG
+    n_gpm = horizon(quick)
+    cal = default_calibration(config, seed=seed)
+    g = cal.pid_gains
+    variants = {
+        "P only": PIDGains(g.kp, 0.0, 0.0),
+        "PI": PIDGains(g.kp, g.ki, 0.0),
+        "PID (designed)": g,
+    }
+    result = ExperimentResult(
+        experiment="ablation-pid-terms",
+        description="controller terms: tracking quality of P / PI / PID",
+    )
+    result.headers = (
+        "controller",
+        "mean |power-budget| / budget",
+        "power noise (std/budget)",
+        "mean chip power",
+    )
+    for name, gains in variants.items():
+        variant_cal = dataclasses.replace(cal, pid_gains=gains)
+        scheme = CPMScheme(calibration=variant_cal)
+        res = Simulation(
+            config, scheme, mix=MIX1, budget_fraction=BUDGET, seed=seed
+        ).run(n_gpm)
+        err, noise = _tracking_stats(res)
+        result.add_row(name, err, noise, res.mean_chip_power_frac)
+    result.notes.append(
+        "because the frequency actuator itself integrates (the plant is "
+        "P(z)=a/(z-1)), even P-only tracks constant set-points; the I "
+        "term buys rejection of sustained disturbances such as sensor "
+        "bias and workload drift, and D damps the reallocation transients"
+    )
+    return result
+
+
+def run_quantization(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
+    """Continuous vs quantized PIC actuation."""
+    n_gpm = horizon(quick)
+    result = ExperimentResult(
+        experiment="ablation-quantization",
+        description="PIC actuation: continuous vs 8-knob quantized DVFS",
+    )
+    result.headers = (
+        "actuation",
+        "mean |power-budget| / budget",
+        "perf degradation",
+    )
+    for mode in ("continuous", "quantized"):
+        config = dataclasses.replace(DEFAULT_CONFIG, dvfs=DVFSConfig(mode=mode))
+        reference = reference_run(config, MIX1, seed=seed, n_gpm=n_gpm)
+        res = run_cpm(
+            config, mix=MIX1, budget_fraction=BUDGET, n_gpm_intervals=n_gpm,
+            seed=seed,
+        )
+        err, _noise = _tracking_stats(res)
+        result.add_row(mode, err, performance_degradation(res, reference))
+    result.notes.append(
+        "quantized knobs force the PIC to dither between ladder points; "
+        "time-averaged tracking survives, instantaneous tracking widens"
+    )
+    return result
+
+
+def run_transducer(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
+    """Per-island transducers vs one pooled global line."""
+    config = DEFAULT_CONFIG
+    n_gpm = horizon(quick)
+    cal = default_calibration(config, seed=seed)
+
+    # Pool every benchmark's calibration line into one global fit by
+    # sampling each per-benchmark transducer over its utilization range.
+    u = np.linspace(0.2, 1.0, 50)
+    us, ps = [], []
+    for t in cal.benchmark_transducers.values():
+        us.append(u)
+        ps.append(t(u))
+    pooled = fit_transducer(np.concatenate(us), np.concatenate(ps))
+    pooled_cal = dataclasses.replace(
+        cal, island_transducers=(pooled,) * config.n_islands
+    )
+
+    result = ExperimentResult(
+        experiment="ablation-transducer",
+        description="sensing: per-island transducer fits vs one global line",
+    )
+    result.headers = (
+        "transducer",
+        "mean |sensed-actual| (fraction of max power)",
+        "mean |power-budget| / budget",
+    )
+    for name, calibration in (("per-island", cal), ("global", pooled_cal)):
+        scheme = CPMScheme(calibration=calibration)
+        res = Simulation(
+            config, scheme, mix=MIX1, budget_fraction=BUDGET, seed=seed
+        ).run(n_gpm)
+        skip = min(WARMUP_INTERVALS, res.telemetry.n_intervals // 3)
+        sensed = res.telemetry["island_sensed_frac"][skip:]
+        actual = res.telemetry["island_power_frac"][skip:]
+        sense_err = float(np.abs(sensed - actual).mean())
+        err, _ = _tracking_stats(res)
+        result.add_row(name, sense_err, err)
+    result.notes.append(
+        "the PIC can only cap what it can sense: transducers fit to the "
+        "island's own co-scheduled applications track actual power tighter"
+    )
+    return result
+
+
+def run_gpm_policy(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
+    """Provisioning policy ablation at the 80% budget."""
+    config = DEFAULT_CONFIG
+    n_gpm = horizon(quick)
+    reference = reference_run(config, MIX1, seed=seed, n_gpm=n_gpm)
+    policies = {
+        "uniform (static)": UniformPolicy(),
+        "eq6 (literal)": PerformanceAwarePolicy(mode="eq6"),
+        "proportional (default)": PerformanceAwarePolicy(mode="proportional"),
+    }
+    result = ExperimentResult(
+        experiment="ablation-gpm-policy",
+        description="GPM tier: uniform vs literal Eq.6 vs proportional phi",
+    )
+    result.headers = ("policy", "perf degradation", "mean chip power")
+    for name, policy in policies.items():
+        res = run_cpm(
+            config, mix=MIX1, policy=policy, budget_fraction=BUDGET,
+            n_gpm_intervals=n_gpm, seed=seed,
+        )
+        result.add_row(
+            name, performance_degradation(res, reference), res.mean_chip_power_frac
+        )
+    return result
+
+
+def run_energy_floor(
+    seed: int = DEFAULT_SEED, quick: bool = False
+) -> ExperimentResult:
+    """Energy-aware policy: power saved vs throughput cost across floors.
+
+    Sweeps the performance floor of
+    :class:`~repro.gpm.energy_aware.EnergyAwarePolicy` — the "provide a
+    minimum guarantee on the performance" extension the paper lists as
+    feasible — and reports the power/throughput trade it buys.
+    """
+    from ..gpm.energy_aware import EnergyAwarePolicy
+
+    config = DEFAULT_CONFIG
+    n_gpm = horizon(quick)
+    reference = reference_run(config, MIX1, seed=seed, n_gpm=n_gpm)
+    result = ExperimentResult(
+        experiment="ablation-energy-floor",
+        description="energy-aware policy: power saved vs performance floor",
+    )
+    result.headers = (
+        "performance floor",
+        "mean chip power",
+        "power saved vs unmanaged",
+        "perf degradation",
+    )
+    unmanaged = reference.mean_chip_power_frac
+    floors = (0.99, 0.95) if quick else (0.99, 0.97, 0.95, 0.90, 0.85)
+    for floor in floors:
+        scheme = CPMScheme(policy=EnergyAwarePolicy(performance_floor=floor))
+        res = Simulation(
+            config, scheme, mix=MIX1, budget_fraction=0.95, seed=seed
+        ).run(n_gpm)
+        result.add_row(
+            floor,
+            res.mean_chip_power_frac,
+            1.0 - res.mean_chip_power_frac / unmanaged,
+            performance_degradation(res, reference),
+        )
+    result.notes.append(
+        "lowering the guarantee buys power roughly 2:1 against "
+        "throughput at first (memory-stall power is cheap to shed), then "
+        "saturates as the compute-bound islands start paying"
+    )
+    return result
+
+
+def run_maxbips_prediction(
+    seed: int = DEFAULT_SEED, quick: bool = False
+) -> ExperimentResult:
+    """MaxBIPS: static table vs runtime-informed predictions."""
+    config = DEFAULT_CONFIG
+    n_gpm = horizon(quick)
+    reference = reference_run(config, MIX1, seed=seed, n_gpm=n_gpm)
+    result = ExperimentResult(
+        experiment="ablation-maxbips-prediction",
+        description="MaxBIPS prediction table: static vs runtime-informed",
+    )
+    result.headers = ("prediction", "perf degradation", "mean chip power",
+                      "max chip power")
+    for prediction in ("static", "measured"):
+        res = Simulation(
+            config,
+            MaxBIPSScheme(prediction=prediction),
+            mix=MIX1,
+            budget_fraction=BUDGET,
+            seed=seed,
+        ).run(n_gpm)
+        chip = res.telemetry["chip_power_frac"][WARMUP_INTERVALS // 2 :]
+        result.add_row(
+            prediction,
+            performance_degradation(res, reference),
+            float(chip.mean()),
+            float(chip.max()),
+        )
+    result.notes.append(
+        "the paper's 'static prediction table' costs MaxBIPS most of its "
+        "handicap; runtime feedback recovers much of it — which is the "
+        "paper's thesis stated in reverse"
+    )
+    return result

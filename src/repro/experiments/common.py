@@ -1,0 +1,97 @@
+"""Shared infrastructure for the experiment modules.
+
+Keeps experiments terse: a result container with a uniform renderer,
+memoized reference (no-management) runs, and the standard run lengths.
+Reference runs are cached per (config, mix, seed, horizon) because nearly
+every figure needs the same unmanaged baseline and the workload streams
+are seed-deterministic, so sharing is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..baselines.no_management import NoManagementScheme
+from ..cmpsim.simulator import Simulation, SimulationResult
+from ..config import CMPConfig
+from ..reporting import format_series, format_table
+from ..rng import DEFAULT_SEED
+from ..workloads.mixes import Mix, mix_for_config
+
+#: Default GPM horizons: full runs for the benchmark harness, quick runs
+#: for smoke tests.
+FULL_HORIZON = 25
+QUICK_HORIZON = 6
+
+#: Intervals skipped before computing steady metrics (controller start-up).
+WARMUP_INTERVALS = 20
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform output of one experiment run."""
+
+    experiment: str
+    description: str
+    headers: Sequence[str] = ()
+    rows: List[Sequence] = field(default_factory=list)
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(list(cells))
+
+    def add_series(self, name: str, values) -> None:
+        self.series[name] = np.asarray(values, dtype=float)
+
+    def render(self, width: int = 60) -> str:
+        parts = [f"== {self.experiment} — {self.description} =="]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows))
+        if self.series:
+            parts.append(format_series(self.series, width=width))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n\n".join(parts)
+
+
+def horizon(quick: bool) -> int:
+    return QUICK_HORIZON if quick else FULL_HORIZON
+
+
+@functools.lru_cache(maxsize=64)
+def _reference_run_cached(
+    config: CMPConfig, mix: Mix, seed: int, n_gpm: int
+) -> SimulationResult:
+    sim = Simulation(
+        config, NoManagementScheme(), mix=mix, budget_fraction=1.0, seed=seed
+    )
+    return sim.run(n_gpm)
+
+
+def reference_run(
+    config: CMPConfig,
+    mix: Mix | None = None,
+    seed: int = DEFAULT_SEED,
+    n_gpm: int = FULL_HORIZON,
+) -> SimulationResult:
+    """Memoized no-management run (the performance/power reference)."""
+    return _reference_run_cached(config, mix_for_config(config, mix), seed, n_gpm)
+
+
+def main(run_fn, *, quick: bool | None = None) -> None:
+    """Standard ``python -m`` entry: run and print one experiment.
+
+    Honors a ``--quick`` flag on the command line when ``quick`` is not
+    forced by the caller.
+    """
+    if quick is None:
+        import sys
+
+        quick = "--quick" in sys.argv[1:]
+    result = run_fn(quick=quick)
+    print(result.render())

@@ -1,0 +1,49 @@
+"""Figure 12: performance degradation vs power budget.
+
+Average performance loss relative to the no-power-management run (all
+cores at maximum frequency) as the chip budget shrinks; the paper
+reports ~4% degradation at an 80% budget, rising as the budget tightens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG
+from ..core.cpm import run_cpm
+from ..core.metrics import performance_degradation
+from ..rng import DEFAULT_SEED
+from ..workloads.mixes import MIX1
+from .common import ExperimentResult, horizon, reference_run
+
+BUDGETS = (1.00, 0.95, 0.90, 0.85, 0.80, 0.75)
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
+    config = DEFAULT_CONFIG
+    n_gpm = horizon(quick)
+    budgets = BUDGETS[::2] if quick else BUDGETS
+    reference = reference_run(config, MIX1, seed=seed, n_gpm=n_gpm)
+
+    result = ExperimentResult(
+        experiment="fig12",
+        description="performance degradation vs chip power budget (Mix-1)",
+    )
+    result.headers = ("budget", "mean chip power", "perf degradation")
+    degradations = []
+    for budget in budgets:
+        res = run_cpm(
+            config, mix=MIX1, budget_fraction=budget, n_gpm_intervals=n_gpm, seed=seed
+        )
+        deg = performance_degradation(res, reference)
+        degradations.append(deg)
+        result.add_row(budget, res.mean_chip_power_frac, deg)
+    result.add_series("degradation vs budget", np.asarray(degradations))
+    result.notes.append("paper: ~4% degradation at the 80% budget")
+    return result
+
+
+if __name__ == "__main__":
+    from .common import main
+
+    main(run)

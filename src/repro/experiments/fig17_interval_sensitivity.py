@@ -1,0 +1,90 @@
+"""Figure 17: sensitivity to the GPM/PIC invocation intervals.
+
+Compares the default cadence (GPM 5 ms, PIC 0.5 ms) against a degenerate
+one where the PIC runs only as often as the GPM (5 ms, 5 ms), across
+island sizes of 1, 2 and 4 cores per island.  With one PIC shot per GPM
+window, the capping tier cannot settle onto the set-point, so budgets
+must effectively be met open-loop — more degradation, exactly the
+paper's argument for the two-rate design.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..config import DEFAULT_CONFIG, ControlConfig
+from ..core.cpm import run_cpm
+from ..core.metrics import performance_degradation
+from ..rng import DEFAULT_SEED
+from ..units import ms
+from .common import ExperimentResult, horizon, reference_run
+
+CADENCES = (
+    ("(5ms, 0.5ms)", ms(5), ms(0.5)),
+    ("(5ms, 5ms)", ms(5), ms(5)),
+)
+CORES_PER_ISLAND = (1, 2, 4)
+
+
+def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
+    n_gpm = horizon(quick)
+    sizes = (2,) if quick else CORES_PER_ISLAND
+
+    result = ExperimentResult(
+        experiment="fig17",
+        description="degradation and tracking vs (GPM, PIC) intervals, 80% budget",
+    )
+    result.headers = (
+        "cores/island",
+        "(GPM, PIC)",
+        "degradation",
+        "mean |power-budget| / budget",
+        "time above budget +2%",
+        "worst budget overshoot",
+    )
+    for cpi in sizes:
+        base = DEFAULT_CONFIG.with_islands(8, 8 // cpi)
+        for label, gpm_s, pic_s in CADENCES:
+            control = ControlConfig(
+                gpm_interval_s=gpm_s,
+                pic_interval_s=pic_s,
+                desired_poles=base.control.desired_poles,
+            )
+            config = dataclasses.replace(base, control=control)
+            reference = reference_run(config, seed=seed, n_gpm=n_gpm)
+            res = run_cpm(
+                config, budget_fraction=0.8, n_gpm_intervals=n_gpm, seed=seed
+            )
+            deg = performance_degradation(res, reference)
+            chip = res.telemetry["chip_power_frac"]
+            skip = max(2, chip.size // 4)
+            rel = chip[skip:] / res.budget_fraction
+            result.add_row(
+                cpi,
+                label,
+                deg,
+                float(np.mean(np.abs(rel - 1.0))),
+                float(np.mean(rel > 1.02)),
+                float(max(rel.max() - 1.0, 0.0)),
+            )
+    result.notes.append(
+        "paper: the (5ms, 0.5ms) cadence degrades less thanks to more "
+        "accurate within-window capping; too-small intervals would raise "
+        "controller overhead instead"
+    )
+    result.notes.append(
+        "in this substrate the coarse PIC's within-window budget "
+        "overshoots go uncorrected and convert into throughput, so its "
+        "degradation can read lower — the compliance columns show what "
+        "that costs: the fine cadence is what actually keeps the chip "
+        "under the budget"
+    )
+    return result
+
+
+if __name__ == "__main__":
+    from .common import main
+
+    main(run)

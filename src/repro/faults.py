@@ -1,0 +1,175 @@
+"""Fault injection for robustness studies.
+
+The paper's headline robustness claim is analytic: the closed loop stays
+stable for any true system gain up to ``g`` times the design gain
+(Eq. 13).  Real deployments face messier failures — sensors that stick,
+transducers that drift, actuators that quantize or lag.  This module
+provides composable fault wrappers that corrupt a CPM scheme's sensing
+and actuation paths *without touching the controllers*, so the stability
+and graceful-degradation claims can be exercised end to end (see
+``tests/test_fault_injection.py``).
+
+Faults wrap a :class:`~repro.core.cpm.CPMScheme` (or any scheme exposing
+``controllers``) and are applied at ``bind`` time::
+
+    scheme = CPMScheme()
+    faulty = inject(scheme, BiasedTransducer(bias=+0.01), StuckSensor(...))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .power.transducer import LinearTransducer
+from .rng import SeedSequenceFactory
+
+
+class Fault:
+    """Base class: a mutation applied to a bound scheme's controllers."""
+
+    def apply(self, scheme, sim) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass
+class GainError(Fault):
+    """The plant's true gain differs from the identified one.
+
+    Implemented by scaling every PID's gains *down* by ``multiplier`` —
+    equivalent, from the loop's perspective, to the true plant gain being
+    ``multiplier`` times the design gain (the quantity Eq. 13 bounds).
+    """
+
+    multiplier: float
+
+    def __post_init__(self):
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+
+    def apply(self, scheme, sim) -> None:
+        for controller in scheme.controllers:
+            controller.pid.gains = controller.pid.gains.scaled(self.multiplier)
+
+
+@dataclass
+class BiasedTransducer(Fault):
+    """Systematic sensing offset: every island's sensed power is shifted
+    by ``bias`` (fraction of max chip power).  Models calibration drift;
+    the integral term cannot remove it because the loop regulates the
+    *sensed* value."""
+
+    bias: float
+
+    def apply(self, scheme, sim) -> None:
+        for controller in scheme.controllers:
+            old = controller.transducer
+            controller.transducer = LinearTransducer(
+                k0=old.k0, k1=old.k1 + self.bias, r_squared=old.r_squared
+            )
+
+
+@dataclass
+class NoisySensor(Fault):
+    """Additive white noise on the utilization reading."""
+
+    sigma: float
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def apply(self, scheme, sim) -> None:
+        rng = SeedSequenceFactory(self.seed).generator("faults/noisy-sensor")
+
+        for controller in scheme.controllers:
+            original = controller.invoke
+
+            def invoke(setpoint, utilization, _orig=original):
+                noisy = utilization + float(rng.normal(0.0, self.sigma))
+                return _orig(setpoint, max(noisy, 0.0))
+
+            controller.invoke = invoke
+
+
+@dataclass
+class StuckSensor(Fault):
+    """One island's utilization reading freezes at its first value after
+    ``stick_after`` invocations — the classic dead-counter failure."""
+
+    island: int
+    stick_after: int = 20
+
+    def __post_init__(self):
+        if self.island < 0:
+            raise ValueError("island must be non-negative")
+        if self.stick_after < 0:
+            raise ValueError("stick_after must be non-negative")
+
+    def apply(self, scheme, sim) -> None:
+        if self.island >= len(scheme.controllers):
+            raise ValueError(
+                f"island {self.island} out of range "
+                f"({len(scheme.controllers)} controllers)"
+            )
+        controller = scheme.controllers[self.island]
+        original = controller.invoke
+        state = {"count": 0, "stuck_value": None}
+
+        def invoke(setpoint, utilization, _orig=original):
+            state["count"] += 1
+            if state["count"] > self.stick_after:
+                if state["stuck_value"] is None:
+                    state["stuck_value"] = utilization
+                utilization = state["stuck_value"]
+            return _orig(setpoint, utilization)
+
+        controller.invoke = invoke
+
+
+@dataclass
+class LaggedActuator(Fault):
+    """Frequency commands take effect one PIC interval late (an extra
+    sample of loop delay on top of the inherent one)."""
+
+    def apply(self, scheme, sim) -> None:
+        for controller in scheme.controllers:
+            actuator = controller.actuator
+            original = actuator.apply
+            pending = {"value": actuator.frequency}
+
+            def apply_lagged(frequency, _orig=original, _p=pending):
+                delayed = _p["value"]
+                _p["value"] = frequency
+                return _orig(delayed)
+
+            actuator.apply = apply_lagged
+
+
+class FaultySchemeWrapper:
+    """A scheme decorator that applies faults after the inner bind."""
+
+    def __init__(self, inner, faults: list[Fault]):
+        self.inner = inner
+        self.faults = list(faults)
+        self.name = f"{inner.name}+faults"
+
+    def bind(self, sim) -> None:
+        self.inner.bind(sim)
+        for fault in self.faults:
+            fault.apply(self.inner, sim)
+
+    def on_gpm(self, sim) -> None:
+        self.inner.on_gpm(sim)
+
+    def on_pic(self, sim) -> None:
+        self.inner.on_pic(sim)
+
+
+def inject(scheme, *faults: Fault) -> FaultySchemeWrapper:
+    """Wrap ``scheme`` so ``faults`` are applied when it binds."""
+    if not faults:
+        raise ValueError("need at least one fault")
+    return FaultySchemeWrapper(scheme, list(faults))

@@ -1,0 +1,27 @@
+"""GPM — the Global Power Manager tier (first tier of CPM).
+
+The GPM provisions the chip-wide power budget across the islands every
+``T_global``; *how* it splits the budget is a pluggable
+:class:`~repro.gpm.policy.ProvisioningPolicy`.  Three policies from the
+paper ship here: performance-aware (Equations 4–6), thermal-aware
+(adjacency-constrained) and variation-aware (greedy energy-per-
+instruction search); a uniform policy serves as the ablation baseline.
+"""
+
+from .energy_aware import EnergyAwarePolicy
+from .manager import GlobalPowerManager
+from .performance_aware import PerformanceAwarePolicy
+from .policy import GPMContext, ProvisioningPolicy, UniformPolicy
+from .thermal_aware import ThermalAwarePolicy
+from .variation_aware import VariationAwarePolicy
+
+__all__ = [
+    "EnergyAwarePolicy",
+    "GPMContext",
+    "GlobalPowerManager",
+    "PerformanceAwarePolicy",
+    "ProvisioningPolicy",
+    "ThermalAwarePolicy",
+    "UniformPolicy",
+    "VariationAwarePolicy",
+]

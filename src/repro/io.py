@@ -1,0 +1,129 @@
+"""Run serialization: export telemetry and results for external analysis.
+
+Telemetry lives in NumPy arrays; downstream analysis usually wants CSV
+(spreadsheets, pandas, gnuplot) or JSON (dashboards).  This module
+flattens a :class:`~repro.cmpsim.simulator.SimulationResult` into those
+formats without adding dependencies.
+
+* :func:`telemetry_to_csv` — one row per PIC interval, one column per
+  scalar series plus one column per (vector series, island/core) pair.
+* :func:`windows_to_csv` — one row per completed GPM window.
+* :func:`result_to_json` — run metadata + summary statistics (not the
+  full per-interval data; use the CSVs for that).
+* :func:`save_run` — writes all three next to each other.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Mapping
+
+import numpy as np
+
+from .cmpsim.simulator import SimulationResult
+
+
+def _flatten_columns(arrays: Mapping[str, np.ndarray]) -> tuple[list[str], np.ndarray]:
+    """Expand vector series into suffixed scalar columns."""
+    names: list[str] = []
+    columns: list[np.ndarray] = []
+    for key in sorted(arrays):
+        values = arrays[key]
+        if values.ndim == 1:
+            names.append(key)
+            columns.append(values.astype(float))
+        elif values.ndim == 2:
+            for j in range(values.shape[1]):
+                names.append(f"{key}[{j}]")
+                columns.append(values[:, j].astype(float))
+        else:  # pragma: no cover - telemetry holds only 1-D/2-D series
+            raise ValueError(f"cannot flatten {key!r} with ndim={values.ndim}")
+    return names, np.column_stack(columns)
+
+
+def telemetry_to_csv(result: SimulationResult, path: str | pathlib.Path) -> int:
+    """Write per-interval telemetry as CSV; returns the row count."""
+    arrays = dict(result.telemetry.finalize())
+    arrays = {k: np.asarray(v) for k, v in arrays.items()}
+    # Booleans serialize as 0/1.
+    arrays["is_gpm_tick"] = arrays["is_gpm_tick"].astype(int)
+    names, table = _flatten_columns(arrays)
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row in table:
+            writer.writerow([f"{v:.9g}" for v in row])
+    return table.shape[0]
+
+
+def windows_to_csv(result: SimulationResult, path: str | pathlib.Path) -> int:
+    """Write per-GPM-window aggregates as CSV; returns the row count."""
+    windows = result.telemetry.windows
+    path = pathlib.Path(path)
+    n_islands = result.telemetry.n_islands
+    headers = ["window", "duration_s"]
+    for field in ("power_frac", "bips", "utilization", "setpoint",
+                  "energy_j", "instructions"):
+        headers += [f"{field}[{i}]" for i in range(n_islands)]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for k, w in enumerate(windows):
+            row: list = [k, f"{w.duration_s:.9g}"]
+            for values in (
+                w.island_power_frac,
+                w.island_bips,
+                w.island_utilization,
+                w.island_setpoints,
+                w.island_energy_j,
+                w.island_instructions,
+            ):
+                row += [f"{v:.9g}" for v in values]
+            writer.writerow(row)
+    return len(windows)
+
+
+def result_to_json(result: SimulationResult) -> dict:
+    """Run metadata and summary statistics as a JSON-ready dict."""
+    chip_power = result.telemetry["chip_power_frac"]
+    return {
+        "scheme": result.scheme_name,
+        "mix": result.mix_name,
+        "budget_fraction": result.budget_fraction,
+        "n_cores": result.config.n_cores,
+        "n_islands": result.config.n_islands,
+        "dvfs_mode": result.config.dvfs.mode,
+        "gpm_interval_s": result.config.control.gpm_interval_s,
+        "pic_interval_s": result.config.control.pic_interval_s,
+        "duration_s": result.duration_s,
+        "n_intervals": result.telemetry.n_intervals,
+        "n_windows": len(result.telemetry.windows),
+        "total_instructions": result.total_instructions,
+        "mean_chip_bips": result.mean_chip_bips,
+        "mean_chip_power_frac": result.mean_chip_power_frac,
+        "max_chip_power_frac": float(chip_power.max()),
+        "min_chip_power_frac": float(chip_power.min()),
+    }
+
+
+def save_run(
+    result: SimulationResult,
+    directory: str | pathlib.Path,
+    stem: str = "run",
+) -> dict[str, pathlib.Path]:
+    """Write ``<stem>.json``, ``<stem>_telemetry.csv`` and
+    ``<stem>_windows.csv`` under ``directory``; returns the paths."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = {
+        "summary": directory / f"{stem}.json",
+        "telemetry": directory / f"{stem}_telemetry.csv",
+        "windows": directory / f"{stem}_windows.csv",
+    }
+    paths["summary"].write_text(json.dumps(result_to_json(result), indent=2))
+    telemetry_to_csv(result, paths["telemetry"])
+    windows_to_csv(result, paths["windows"])
+    return paths

@@ -1,0 +1,18 @@
+"""PIC — the local Per-Island Controller tier (second tier of CPM).
+
+Each island gets one :class:`~repro.pic.controller.PerIslandController`:
+a pole-placement-designed PID that tracks the GPM-provisioned power
+set-point by scaling the island's voltage/frequency, observing power
+indirectly through the utilization transducer of Figure 6.
+"""
+
+from .actuator import DVFSActuator
+from .controller import PerIslandController, PICInvocation
+from .sensor import CallbackSensor
+
+__all__ = [
+    "CallbackSensor",
+    "DVFSActuator",
+    "PerIslandController",
+    "PICInvocation",
+]

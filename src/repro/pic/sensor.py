@@ -1,0 +1,26 @@
+"""Sensors for the per-island control loop.
+
+The PIC's measurable output is processor utilization (a hardware
+performance counter), not power; :class:`CallbackSensor` adapts any
+measurement source to the :class:`repro.control.loop.Sensor` protocol so
+island controllers can also be wired into the generic feedback loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class CallbackSensor:
+    """A :class:`~repro.control.loop.Sensor` reading from a callable.
+
+    The CPM scheme reads island utilization straight from the simulator's
+    last interval; standalone loop compositions (examples, tests) wrap
+    whatever they have in this adapter.
+    """
+
+    def __init__(self, source: Callable[[], float]) -> None:
+        self._source = source
+
+    def read(self) -> float:
+        return float(self._source())

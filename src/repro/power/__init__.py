@@ -1,0 +1,31 @@
+"""Power modelling substrate (Wattch / HotLeakage analogues).
+
+* :mod:`repro.power.clock_gating` — the linear ("cc3"-style) clock-gating
+  scheme Wattch provides: idle structures draw a fixed fraction of their
+  active power.
+* :mod:`repro.power.dynamic` — per-structure dynamic power,
+  ``C_eff · V² · f · activity`` summed over microarchitectural units.
+* :mod:`repro.power.leakage` — static power with voltage and exponential
+  temperature dependence plus per-island process multipliers.
+* :mod:`repro.power.model` — composite core/island/chip power.
+* :mod:`repro.power.transducer` — the utilization→power linear regression
+  the PIC uses as its sensor/transducer (paper Figure 6).
+"""
+
+from .clock_gating import LinearClockGating
+from .dynamic import STRUCTURES, DynamicPowerModel, StructureSpec
+from .leakage import LeakagePowerModel
+from .model import CorePowerModel, PowerBreakdown
+from .transducer import LinearTransducer, fit_transducer
+
+__all__ = [
+    "STRUCTURES",
+    "CorePowerModel",
+    "DynamicPowerModel",
+    "LeakagePowerModel",
+    "LinearClockGating",
+    "LinearTransducer",
+    "PowerBreakdown",
+    "StructureSpec",
+    "fit_transducer",
+]

@@ -1,0 +1,100 @@
+"""Composite core power model: dynamic + static.
+
+Ties the Wattch-analogue dynamic model and the HotLeakage-analogue static
+model to a :class:`repro.config.CoreConfig`, and provides the chip-level
+normalization constant (maximum chip power) that every budget and power
+series in the library is expressed against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..config import CoreConfig
+from .clock_gating import LinearClockGating
+from .dynamic import DynamicPowerModel
+from .leakage import LeakagePowerModel
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Dynamic/static split of one power evaluation, in watts."""
+
+    dynamic_w: float
+    static_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.dynamic_w + self.static_w
+
+
+class CorePowerModel:
+    """Power of one core at an operating point under a given workload state.
+
+    The two workload inputs are the signals the interval simulator exposes:
+
+    * ``busy`` — fraction of cycles not stalled on off-chip memory (stall
+      cycles are clock-gated);
+    * ``alpha`` — the phase's architectural activity during busy cycles.
+    """
+
+    def __init__(
+        self,
+        core_config: CoreConfig | None = None,
+        gating: LinearClockGating | None = None,
+        nominal_voltage: float = 1.5,
+    ) -> None:
+        cfg = core_config or CoreConfig()
+        self.config = cfg
+        self.dynamic = DynamicPowerModel(
+            cfg.effective_capacitance,
+            gating=gating,
+            stall_activity=cfg.stall_activity,
+        )
+        self.leakage = LeakagePowerModel(
+            cfg.nominal_leakage_w, nominal_voltage=nominal_voltage
+        )
+
+    def power(
+        self,
+        voltage: float | np.ndarray,
+        frequency_ghz: float | np.ndarray,
+        busy: float | np.ndarray,
+        alpha: float | np.ndarray = 1.0,
+        temperature_c: float | np.ndarray = 60.0,
+        leakage_multiplier: float | np.ndarray = 1.0,
+    ) -> float | np.ndarray:
+        """Total core power in watts; scalar or vectorized over cores."""
+        dyn = self.dynamic.power(voltage, frequency_ghz, busy, alpha)
+        stat = self.leakage.power(voltage, temperature_c, leakage_multiplier)
+        return dyn + stat
+
+    def breakdown(
+        self,
+        voltage: float,
+        frequency_ghz: float,
+        busy: float,
+        alpha: float = 1.0,
+        temperature_c: float = 60.0,
+        leakage_multiplier: float = 1.0,
+    ) -> PowerBreakdown:
+        """Dynamic/static split at one scalar operating point."""
+        return PowerBreakdown(
+            dynamic_w=float(self.dynamic.power(voltage, frequency_ghz, busy, alpha)),
+            static_w=float(
+                self.leakage.power(voltage, temperature_c, leakage_multiplier)
+            ),
+        )
+
+    def structure_breakdown(
+        self, voltage: float, frequency_ghz: float, busy: float, alpha: float = 1.0
+    ) -> Mapping[str, float]:
+        """Per-structure dynamic power (delegates to the Wattch analogue)."""
+        return self.dynamic.breakdown(voltage, frequency_ghz, busy, alpha)
+
+    def max_power(self, voltage: float, frequency_ghz: float) -> float:
+        """Power of a fully-active core at (V, f): the per-core peak."""
+        return float(self.power(voltage, frequency_ghz, busy=1.0, alpha=1.0))

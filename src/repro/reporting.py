@@ -1,0 +1,102 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmark harness reproduces the paper's tables and figures as text:
+aligned tables for tabular results and compact sparkline series for
+time-series figures.  Everything returns strings so experiments stay
+testable without capturing stdout.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_value(value) -> str:
+    """Human-friendly cell formatting."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """Render a series as a unicode sparkline (resampled to ``width``)."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    if width is not None and arr.size > width:
+        # Block-average resample.
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [arr[a:b].mean() if b > a else arr[min(a, arr.size - 1)]
+             for a, b in zip(edges[:-1], edges[1:])]
+        )
+    lo, hi = float(np.nanmin(arr)), float(np.nanmax(arr))
+    if hi - lo < 1e-12:
+        return _SPARK_LEVELS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(v))] for v in scaled)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Render named series as labelled sparklines with min/mean/max."""
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max((len(k) for k in series), default=0)
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            lines.append(f"{name.ljust(label_width)}  (empty)")
+            continue
+        stats = (
+            f"min {format_value(float(np.nanmin(arr)))} "
+            f"mean {format_value(float(np.nanmean(arr)))} "
+            f"max {format_value(float(np.nanmax(arr)))}"
+        )
+        lines.append(
+            f"{name.ljust(label_width)}  {sparkline(arr, width)}  {stats}"
+        )
+    return "\n".join(lines)
+
+
+def as_percent(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * value:.{digits}f}%"

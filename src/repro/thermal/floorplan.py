@@ -1,0 +1,92 @@
+"""Chip floorplan: core placement and adjacency.
+
+The thermal model needs which cores abut which (lateral heat flow), and
+the thermal-aware GPM policy needs which *islands* are neighbours (its
+constraints limit the combined provisioning of adjacent islands).  Cores
+are laid out on a rectangular grid, row-major, matching the paper's
+Figure 1/18(a) layouts where consecutively-numbered cores sit side by
+side and islands are contiguous blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """Placement of ``n_cores`` on a ``rows x cols`` grid (row-major)."""
+
+    n_cores: int
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.rows * self.cols < self.n_cores:
+            raise ValueError("grid too small for the core count")
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid dimensions must be positive")
+
+    def position(self, core: int) -> Tuple[int, int]:
+        """(row, col) of ``core``."""
+        if not 0 <= core < self.n_cores:
+            raise IndexError(f"core {core} out of range")
+        return divmod(core, self.cols)
+
+    def core_adjacency(self) -> np.ndarray:
+        """Symmetric boolean matrix: True where cores share a grid edge."""
+        adj = np.zeros((self.n_cores, self.n_cores), dtype=bool)
+        for core in range(self.n_cores):
+            r, c = self.position(core)
+            for dr, dc in ((0, 1), (1, 0)):
+                nr, nc = r + dr, c + dc
+                neighbor = nr * self.cols + nc
+                if nr < self.rows and nc < self.cols and neighbor < self.n_cores:
+                    adj[core, neighbor] = True
+                    adj[neighbor, core] = True
+        return adj
+
+    def island_adjacency(self, island_of_core: np.ndarray) -> np.ndarray:
+        """Island-level adjacency induced by core adjacency.
+
+        ``island_of_core`` maps each core index to its island id.  Two
+        distinct islands are adjacent when any of their cores are.
+        """
+        island_ids = np.asarray(island_of_core)
+        if island_ids.shape != (self.n_cores,):
+            raise ValueError("island_of_core must have one entry per core")
+        n_islands = int(island_ids.max()) + 1
+        core_adj = self.core_adjacency()
+        adj = np.zeros((n_islands, n_islands), dtype=bool)
+        rows, cols = np.nonzero(core_adj)
+        for a, b in zip(rows, cols):
+            ia, ib = island_ids[a], island_ids[b]
+            if ia != ib:
+                adj[ia, ib] = True
+                adj[ib, ia] = True
+        return adj
+
+    def adjacent_island_pairs(self, island_of_core: np.ndarray) -> FrozenSet[Tuple[int, int]]:
+        """Set of (lo, hi) adjacent island id pairs."""
+        adj = self.island_adjacency(island_of_core)
+        pairs = set()
+        rows, cols = np.nonzero(np.triu(adj, k=1))
+        for a, b in zip(rows, cols):
+            pairs.add((int(a), int(b)))
+        return frozenset(pairs)
+
+
+def grid_floorplan(n_cores: int) -> Floorplan:
+    """Default layout: two rows when the core count allows, else one.
+
+    8 cores -> 2x4 (the paper's Figure 18(a) shape), 16 -> 2x8, 32 -> 2x16;
+    odd or tiny counts fall back to a single row.
+    """
+    if n_cores < 1:
+        raise ValueError("need at least one core")
+    if n_cores >= 4 and n_cores % 2 == 0:
+        return Floorplan(n_cores=n_cores, rows=2, cols=n_cores // 2)
+    return Floorplan(n_cores=n_cores, rows=1, cols=n_cores)

@@ -1,0 +1,75 @@
+"""Unit conventions and conversion helpers used across the library.
+
+The whole library sticks to one set of internal units so that numeric
+constants never need per-module interpretation:
+
+==============  ==========================================
+quantity        internal unit
+==============  ==========================================
+time            seconds
+frequency       GHz (clock rate of a core / island)
+voltage         volts
+power           watts (absolute) or *fraction of max chip
+                power* when a value is documented as a
+                "share" / "budget"
+temperature     degrees Celsius
+energy          joules
+instructions    raw counts; throughput reported in BIPS
+                (billions of instructions per second)
+==============  ==========================================
+
+Power *budgets*, *set-points* and every per-interval power series that an
+experiment reports follow the paper's convention of being expressed as a
+fraction of the maximum chip power (e.g. the default chip-wide budget is
+``0.8``, i.e. "80% of maximum chip power").
+"""
+
+from __future__ import annotations
+
+MILLISECONDS = 1e-3
+MICROSECONDS = 1e-6
+NANOSECONDS = 1e-9
+
+GHZ_TO_HZ = 1e9
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLISECONDS
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICROSECONDS
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NANOSECONDS
+
+
+def cycles_at(latency_seconds: float, frequency_ghz: float) -> float:
+    """Number of core cycles a fixed wall-clock latency occupies.
+
+    This is the conversion at the heart of the memory-boundness effect: an
+    off-chip access costs a constant number of *seconds*, so it costs
+    ``latency * f`` *cycles* — more cycles at higher frequency, which is why
+    scaling up the clock does not speed up memory-bound code.
+    """
+    if frequency_ghz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+    return latency_seconds * frequency_ghz * GHZ_TO_HZ
+
+
+def seconds_for_cycles(cycles: float, frequency_ghz: float) -> float:
+    """Wall-clock time taken by ``cycles`` core cycles at ``frequency_ghz``."""
+    if frequency_ghz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+    return cycles / (frequency_ghz * GHZ_TO_HZ)
+
+
+def bips(instructions: float, seconds: float) -> float:
+    """Throughput in billions of instructions per second."""
+    if seconds <= 0.0:
+        raise ValueError(f"interval must be positive, got {seconds}")
+    return instructions / seconds / 1e9

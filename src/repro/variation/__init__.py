@@ -1,0 +1,22 @@
+"""Process-variation substrate.
+
+Models intra-die variation as per-core leakage multipliers, either set
+explicitly per island (the paper's variation study assumes islands 1–3
+leak 1.2x / 1.5x / 2x as much as island 4) or sampled from a spatially
+correlated random field for what-if studies.
+"""
+
+from .leakage_variation import (
+    PAPER_ISLAND_MULTIPLIERS,
+    island_multipliers_to_cores,
+    uniform_multipliers,
+)
+from .process import VariationMap, sample_variation_map
+
+__all__ = [
+    "PAPER_ISLAND_MULTIPLIERS",
+    "VariationMap",
+    "island_multipliers_to_cores",
+    "sample_variation_map",
+    "uniform_multipliers",
+]

@@ -1,0 +1,39 @@
+"""Per-island leakage multipliers (the paper's §IV-B assumption).
+
+The variation-aware study assumes "the leakage current in Island 1,
+Island 2 and Island 3 is 1.2x, 1.5x and 2x, respectively, of Island 4"
+— :data:`PAPER_ISLAND_MULTIPLIERS` encodes exactly that, and the helpers
+expand island-level multipliers to the per-core vectors the leakage model
+consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+#: Leakage of islands 1..4 relative to island 4 (the least leaky).
+PAPER_ISLAND_MULTIPLIERS: Tuple[float, float, float, float] = (1.2, 1.5, 2.0, 1.0)
+
+
+def uniform_multipliers(n_cores: int) -> np.ndarray:
+    """No-variation baseline: every core at the nominal corner."""
+    if n_cores < 1:
+        raise ValueError("need at least one core")
+    return np.ones(n_cores, dtype=float)
+
+
+def island_multipliers_to_cores(
+    island_multipliers: Sequence[float],
+    cores_per_island: int,
+) -> np.ndarray:
+    """Expand island-level multipliers to one entry per core."""
+    if cores_per_island < 1:
+        raise ValueError("cores_per_island must be >= 1")
+    multipliers = np.asarray(island_multipliers, dtype=float)
+    if multipliers.ndim != 1 or multipliers.size == 0:
+        raise ValueError("island_multipliers must be a non-empty 1-D sequence")
+    if np.any(multipliers <= 0):
+        raise ValueError("multipliers must be positive")
+    return np.repeat(multipliers, cores_per_island)

@@ -1,0 +1,131 @@
+"""Application mixes and island assignments (Table III).
+
+* **Mix-1** (8-core, 4 islands × 2 cores): each island pairs one CPU-bound
+  with one memory-bound application.
+* **Mix-2** (8-core): islands are homogeneous — two C,C islands and two
+  M,M islands.
+* **Mix-3** (16-core, 4 islands × 4 cores): alternating all-C / all-M
+  islands; replicated twice for the 32-core configuration.
+* **Thermal mix** (Figure 18a): 8 single-core islands running
+  mesa/bzip2/gcc/sixtrack twice over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..config import CMPConfig
+from .benchmark import BenchmarkSpec
+from .parsec import parsec_benchmark
+from .spec import spec_benchmark
+
+
+@dataclass(frozen=True)
+class Mix:
+    """An island-by-island application assignment."""
+
+    name: str
+    #: Per island, the tuple of benchmark names scheduled on its cores.
+    islands: Tuple[Tuple[str, ...], ...]
+
+    @property
+    def n_cores(self) -> int:
+        return sum(len(island) for island in self.islands)
+
+    @property
+    def n_islands(self) -> int:
+        return len(self.islands)
+
+    def characteristics(self) -> Tuple[str, ...]:
+        """Per-island C/M signature, e.g. ``("C,M", "C,M", ...)``."""
+        rows = []
+        for island in self.islands:
+            kinds = [parsec_or_spec(name).kind for name in island]
+            rows.append(",".join(kinds))
+        return tuple(rows)
+
+    def specs(self) -> Tuple[BenchmarkSpec, ...]:
+        """Flattened per-core benchmark specs, in core order."""
+        return tuple(
+            parsec_or_spec(name) for island in self.islands for name in island
+        )
+
+    def replicated(self, times: int) -> "Mix":
+        """The mix repeated ``times`` over (paper: Mix-3 twice for 32 cores)."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        return Mix(name=f"{self.name}x{times}", islands=self.islands * times)
+
+
+def parsec_or_spec(name: str) -> BenchmarkSpec:
+    """Resolve a benchmark name from either suite, paper input-set rules."""
+    try:
+        return parsec_benchmark(name)
+    except KeyError:
+        return spec_benchmark(name)
+
+
+#: Table III(a): each island pairs a CPU-bound and a memory-bound app.
+MIX1 = Mix(
+    name="Mix-1",
+    islands=(
+        ("blackscholes", "streamcluster"),
+        ("bodytrack", "facesim"),
+        ("freqmine", "canneal"),
+        ("x264", "vips"),
+    ),
+)
+
+#: Table III(b): homogeneous islands (C,C / M,M / C,C / M,M).
+MIX2 = Mix(
+    name="Mix-2",
+    islands=(
+        ("blackscholes", "bodytrack"),
+        ("streamcluster", "facesim"),
+        ("freqmine", "x264"),
+        ("canneal", "vips"),
+    ),
+)
+
+#: Table III(c): 16-core mix, alternating all-C / all-M islands of 4 cores.
+MIX3 = Mix(
+    name="Mix-3",
+    islands=(
+        ("blackscholes", "bodytrack", "freqmine", "x264"),
+        ("streamcluster", "facesim", "canneal", "vips"),
+        ("blackscholes", "bodytrack", "freqmine", "x264"),
+        ("streamcluster", "facesim", "canneal", "vips"),
+    ),
+)
+
+
+def thermal_mix() -> Mix:
+    """Figure 18(a): 8 single-core islands, mesa/bzip2/gcc/sixtrack twice."""
+    apps = ("mesa", "bzip2", "gcc", "sixtrack", "mesa", "bzip2", "gcc", "sixtrack")
+    return Mix(name="Thermal", islands=tuple((app,) for app in apps))
+
+
+def mix_for_config(config: CMPConfig, base: Mix | None = None) -> Mix:
+    """The paper's default mix for a platform shape.
+
+    8-core platforms get Mix-1 (or a reshaping of ``base``); 16-core gets
+    Mix-3; 32-core gets Mix-3 replicated twice.  For other shapes the base
+    mix's flattened application list is tiled across cores and regrouped
+    into the configured islands.
+    """
+    base = base or (MIX3 if config.n_cores >= 16 else MIX1)
+    if base.n_cores == config.n_cores and base.n_islands == config.n_islands:
+        return base
+    if config.n_cores % base.n_cores == 0 and base.n_cores < config.n_cores:
+        candidate = base.replicated(config.n_cores // base.n_cores)
+        if candidate.n_islands == config.n_islands:
+            return candidate
+    # Regroup: tile the application list, then chunk into islands.
+    flat = [name for island in base.islands for name in island]
+    names = [flat[i % len(flat)] for i in range(config.n_cores)]
+    k = config.cores_per_island
+    islands = tuple(
+        tuple(names[i * k : (i + 1) * k]) for i in range(config.n_islands)
+    )
+    return Mix(name=f"{base.name}@{config.n_cores}c{config.n_islands}i", islands=islands)

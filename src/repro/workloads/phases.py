@@ -1,0 +1,112 @@
+"""Markov phase machine with AR(1) activity noise.
+
+Real applications move through program phases with distinct IPC and memory
+behaviour and stay in each phase for many scheduler intervals.  The GPM
+exists precisely because of this time variation ("accurate provisioning of
+power ... based on time varying workload characteristics"), so the
+synthetic workloads need phases that persist for a few GPM intervals and
+then shift.
+
+A :class:`PhaseMachine` holds a set of :class:`Phase` states with
+geometric dwell times; within a phase, the architectural activity factor
+wanders with an AR(1) process so consecutive PIC intervals are correlated
+but not constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One program phase: the workload state the CPI stack consumes."""
+
+    #: Architectural activity during busy cycles (issue-slot occupancy).
+    alpha: float
+    #: Base CPI of the phase with a perfect memory hierarchy.
+    cpi_base: float
+    #: L1 misses (that hit in L2) per kilo-instruction.
+    l1_mpki: float
+    #: L2 misses (off-chip accesses) per kilo-instruction.
+    l2_mpki: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {self.alpha}")
+        if self.cpi_base <= 0:
+            raise ValueError("cpi_base must be positive")
+        if self.l1_mpki < 0 or self.l2_mpki < 0:
+            raise ValueError("miss rates must be non-negative")
+
+
+@dataclass(frozen=True)
+class PhaseState:
+    """Instantaneous phase-machine output for one interval."""
+
+    phase: Phase
+    alpha: float  # phase alpha + AR(1) noise, clipped to (0, 1]
+
+
+class PhaseMachine:
+    """Markov chain over phases plus AR(1) noise on the activity factor.
+
+    Parameters
+    ----------
+    phases:
+        The phase set; dwell in each is geometric.
+    mean_dwell_intervals:
+        Expected number of ``advance`` calls spent in a phase before
+        transitioning (one call per PIC interval in the simulator).
+    noise_sigma:
+        Standard deviation of the AR(1) innovation on alpha.
+    noise_rho:
+        AR(1) autocorrelation; 0 gives white noise, values near 1 give
+        slowly-wandering activity.
+    rng:
+        Generator owning this machine's randomness.
+    """
+
+    def __init__(
+        self,
+        phases: Sequence[Phase],
+        mean_dwell_intervals: float,
+        noise_sigma: float,
+        noise_rho: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if not phases:
+            raise ValueError("need at least one phase")
+        if mean_dwell_intervals < 1.0:
+            raise ValueError("mean dwell must be at least one interval")
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        if not 0.0 <= noise_rho < 1.0:
+            raise ValueError("noise_rho must be in [0, 1)")
+        self.phases: Tuple[Phase, ...] = tuple(phases)
+        self.transition_probability = 1.0 / mean_dwell_intervals
+        self.noise_sigma = noise_sigma
+        self.noise_rho = noise_rho
+        self._rng = rng
+        self._current = int(rng.integers(len(self.phases)))
+        self._noise = 0.0
+
+    @property
+    def current_phase_index(self) -> int:
+        return self._current
+
+    def advance(self) -> PhaseState:
+        """Advance one interval; maybe transition phase, evolve noise."""
+        if len(self.phases) > 1 and self._rng.random() < self.transition_probability:
+            # Jump to a uniformly-chosen *different* phase.
+            offset = int(self._rng.integers(1, len(self.phases)))
+            self._current = (self._current + offset) % len(self.phases)
+        self._noise = self.noise_rho * self._noise + self._rng.normal(
+            0.0, self.noise_sigma
+        )
+        phase = self.phases[self._current]
+        alpha = float(np.clip(phase.alpha + self._noise, 0.05, 1.0))
+        return PhaseState(phase=phase, alpha=alpha)

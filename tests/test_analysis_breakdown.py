@@ -1,0 +1,56 @@
+"""Offline energy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakdown import energy_breakdown, verify_reconstruction
+from repro.power.dynamic import STRUCTURES
+
+pytestmark = pytest.mark.slow
+
+
+class TestEnergyBreakdown:
+    def test_reconstruction_matches_recorded_energy(self, nomgmt_run):
+        breakdown = energy_breakdown(nomgmt_run)
+        assert breakdown.reconstruction_error < 0.02
+        assert verify_reconstruction(nomgmt_run)
+
+    def test_components_sum_to_total(self, nomgmt_run):
+        b = energy_breakdown(nomgmt_run)
+        assert b.dynamic_j + b.static_j + b.uncore_j == pytest.approx(
+            b.total_j, rel=1e-9
+        )
+        assert b.island_j.sum() + b.uncore_j == pytest.approx(
+            b.total_j, rel=1e-9
+        )
+        assert sum(b.structure_j.values()) == pytest.approx(
+            b.dynamic_j, rel=1e-9
+        )
+
+    def test_structure_coverage(self, nomgmt_run):
+        b = energy_breakdown(nomgmt_run)
+        assert set(b.structure_j) == {s.name for s in STRUCTURES}
+        assert all(v > 0 for v in b.structure_j.values())
+
+    def test_clock_tree_is_largest_dynamic_consumer(self, nomgmt_run):
+        b = energy_breakdown(nomgmt_run)
+        assert max(b.structure_j, key=b.structure_j.get) == "clock_tree"
+
+    def test_managed_run_uses_less_energy(self, cpm_run_80, nomgmt_run):
+        capped = energy_breakdown(cpm_run_80)
+        free = energy_breakdown(nomgmt_run)
+        assert capped.total_j < free.total_j
+
+    def test_island_energy_matches_window_accounting(self, nomgmt_run):
+        """Two independent paths to the same joules: reconstruction vs
+        the simulator's own window energy accumulators."""
+        b = energy_breakdown(nomgmt_run)
+        windowed = np.sum(
+            [w.island_energy_j for w in nomgmt_run.telemetry.windows], axis=0
+        )
+        np.testing.assert_allclose(b.island_j, windowed, rtol=0.02)
+
+    def test_table_renders(self, nomgmt_run):
+        text = energy_breakdown(nomgmt_run).as_table()
+        assert "clock_tree" in text
+        assert "uncore" in text

@@ -1,0 +1,153 @@
+"""Cache simulator and trace-driven miss-rate calibration."""
+
+import numpy as np
+import pytest
+
+from repro.cmpsim.cache import CacheHierarchy, SetAssociativeCache
+from repro.workloads.benchmark import MemoryBehavior
+from repro.workloads.parsec import parsec_benchmark
+from repro.workloads.trace import AddressTraceGenerator, calibrate_miss_rates
+
+
+class TestSetAssociativeCache:
+    def cache(self, size=1024, assoc=2, block=64):
+        return SetAssociativeCache(size, assoc, block)
+
+    def test_cold_miss_then_hit(self):
+        c = self.cache()
+        assert c.access(0x1000) is False
+        assert c.access(0x1000) is True
+        assert c.access(0x1008) is True  # same block
+
+    def test_distinct_blocks_miss(self):
+        c = self.cache()
+        c.access(0x0)
+        assert c.access(0x40) is False  # next block
+
+    def test_lru_eviction(self):
+        # 2-way cache: three blocks mapping to the same set evict LRU.
+        c = self.cache(size=256, assoc=2, block=64)  # 2 sets
+        n_sets = c.n_sets
+        way_stride = 64 * n_sets
+        a, b, d = 0, way_stride, 2 * way_stride  # all map to set 0
+        c.access(a)
+        c.access(b)
+        c.access(a)       # a most recent
+        c.access(d)       # evicts b (LRU)
+        assert c.access(a) is True
+        assert c.access(b) is False
+
+    def test_stats_and_reset(self):
+        c = self.cache()
+        c.access(0x0)
+        c.access(0x0)
+        assert c.accesses == 2 and c.misses == 1
+        c.reset_stats()
+        assert c.accesses == 0 and c.misses == 0
+        assert c.access(0x0) is True  # contents preserved
+
+    def test_flush_invalidates(self):
+        c = self.cache()
+        c.access(0x0)
+        c.flush()
+        assert c.access(0x0) is False
+
+    def test_working_set_fits_cache(self):
+        c = self.cache(size=16 * 1024, assoc=2, block=64)
+        addresses = np.arange(0, 8 * 1024, 8)  # 8 KB working set
+        for a in addresses:
+            c.access(int(a))
+        c.reset_stats()
+        for a in addresses:
+            assert c.access(int(a)) is True
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 2, 64)  # size not multiple of block
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, 2, 63)  # block not power of two
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, 3, 64)  # blocks % assoc != 0
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 1, 64)
+
+
+class TestHierarchy:
+    def test_levels_report_correctly(self):
+        h = CacheHierarchy.from_configs(cores_sharing_l2=1)
+        assert h.access(0x1234) == "memory"  # cold everywhere
+        assert h.access(0x1234) == "l1"
+        # Evict from tiny L1 by sweeping, then L2 still holds it.
+        for a in range(0, 64 * 1024, 64):
+            h.access(0x100000 + a)
+        assert h.access(0x1234) == "l2"
+
+    def test_table_i_geometry(self):
+        h = CacheHierarchy.from_configs(cores_sharing_l2=2)
+        assert h.l1.size_bytes == 16 * 1024
+        assert h.l1.associativity == 2
+        assert h.l2.size_bytes == 2 * 512 * 1024
+        assert h.l2.associativity == 16
+
+    def test_stats_aggregation(self):
+        h = CacheHierarchy.from_configs(cores_sharing_l2=1)
+        for a in range(0, 8 * 64, 64):
+            h.access(a)
+        stats = h.stats()
+        assert stats.l1_accesses == 8
+        assert stats.l1_misses == 8
+        assert stats.l2_misses == 8
+        assert stats.l1_miss_rate == 1.0
+
+
+class TestTraceGenerator:
+    BEHAVIOR = MemoryBehavior(
+        working_set_bytes=4096,
+        footprint_bytes=1 << 20,
+        streaming_fraction=0.3,
+        scatter_fraction=0.2,
+    )
+
+    def test_addresses_within_footprint(self):
+        gen = AddressTraceGenerator(self.BEHAVIOR, np.random.default_rng(0))
+        addrs = gen.addresses(10000)
+        assert addrs.max() < self.BEHAVIOR.footprint_bytes
+        assert addrs.dtype == np.uint64
+
+    def test_streaming_component_sequential(self):
+        behavior = MemoryBehavior(64, 1 << 20, 1.0, 0.0)
+        gen = AddressTraceGenerator(behavior, np.random.default_rng(0))
+        addrs = gen.addresses(100).astype(np.int64)
+        steps = np.diff(addrs)
+        assert np.all(steps[steps > 0] == 8)
+
+    def test_requires_positive_count(self):
+        gen = AddressTraceGenerator(self.BEHAVIOR, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            gen.addresses(0)
+
+
+class TestCalibration:
+    @pytest.mark.slow
+    def test_class_structure_reproduced(self):
+        """Trace-driven miss rates keep memory-bound >> CPU-bound."""
+        rng = np.random.default_rng(42)
+        cpu = calibrate_miss_rates(
+            parsec_benchmark("blackscholes"), rng, n_references=60_000
+        )
+        mem = calibrate_miss_rates(
+            parsec_benchmark("canneal"), rng, n_references=60_000
+        )
+        assert mem.l2_mpki > 5 * max(cpu.l2_mpki, 0.01)
+        assert mem.l1_mpki > cpu.l1_mpki
+
+    @pytest.mark.slow
+    def test_native_inputs_increase_misses(self):
+        rng = np.random.default_rng(43)
+        sim = calibrate_miss_rates(
+            parsec_benchmark("vips", input_set="simlarge"), rng, n_references=60_000
+        )
+        native = calibrate_miss_rates(
+            parsec_benchmark("vips", input_set="native"), rng, n_references=60_000
+        )
+        assert native.l2_mpki > sim.l2_mpki

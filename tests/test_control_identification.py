@@ -1,0 +1,71 @@
+"""System identification of the island power model (Equation 8)."""
+
+import numpy as np
+import pytest
+
+from repro.control.identification import (
+    fit_system_gain,
+    predict_power,
+    prediction_error,
+)
+
+
+class TestGainFit:
+    def test_recovers_exact_gain(self):
+        rng = np.random.default_rng(1)
+        df = rng.normal(size=200)
+        fit = fit_system_gain(df, 2.79 * df)
+        assert fit.gain == pytest.approx(2.79)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.n_samples == 200
+
+    def test_noisy_fit_unbiased(self):
+        rng = np.random.default_rng(2)
+        df = rng.normal(size=5000)
+        dp = 0.5 * df + rng.normal(scale=0.05, size=5000)
+        fit = fit_system_gain(df, dp)
+        assert fit.gain == pytest.approx(0.5, abs=0.01)
+        assert 0.9 < fit.r_squared <= 1.0
+
+    def test_through_origin(self):
+        """A constant offset must not leak into the gain estimate."""
+        df = np.array([1.0, -1.0, 2.0, -2.0])
+        dp = 3.0 * df
+        assert fit_system_gain(df, dp).gain == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_system_gain([1.0], [1.0])  # too few samples
+        with pytest.raises(ValueError):
+            fit_system_gain([0.0, 0.0], [1.0, 2.0])  # no excitation
+        with pytest.raises(ValueError):
+            fit_system_gain([1.0, 2.0], [1.0])  # mismatched shapes
+
+
+class TestPrediction:
+    def test_rollout_integrates(self):
+        df = np.array([0.1, -0.2, 0.3])
+        rollout = predict_power(1.0, df, gain=2.0)
+        np.testing.assert_allclose(rollout, [1.0, 1.2, 0.8, 1.4], atol=1e-12)
+
+    def test_one_step_error_zero_for_exact_model(self):
+        rng = np.random.default_rng(3)
+        df = rng.normal(scale=0.1, size=50)
+        power = predict_power(1.0, df, gain=0.5)
+        assert prediction_error(power, df, 0.5) == pytest.approx(0.0, abs=1e-12)
+
+    def test_one_step_error_grows_with_gain_mismatch(self):
+        rng = np.random.default_rng(4)
+        df = rng.normal(scale=0.1, size=200)
+        power = predict_power(1.0, df, gain=0.5)
+        small = prediction_error(power, df, 0.45)
+        large = prediction_error(power, df, 0.1)
+        assert large > small > 0.0
+
+    def test_error_requires_aligned_lengths(self):
+        with pytest.raises(ValueError):
+            prediction_error([1.0, 1.1], [0.1, 0.1], 1.0)
+
+    def test_error_rejects_zero_power(self):
+        with pytest.raises(ValueError):
+            prediction_error([1.0, 0.0], [0.1], 1.0)

@@ -1,0 +1,80 @@
+"""The generic feedback loop (Figure 2), validated on a toy thermostat."""
+
+import pytest
+
+from repro.control.loop import FeedbackLoop
+from repro.control.pid import DiscretePID, PIDGains
+
+
+class Thermostat:
+    """A first-order room: temperature relaxes to ambient + heater power."""
+
+    def __init__(self):
+        self.temperature = 15.0
+        self.heater = 0.0
+
+    def step(self):
+        target = 15.0 + 2.0 * self.heater
+        self.temperature += 0.5 * (target - self.temperature)
+
+
+class HeaterActuator:
+    def __init__(self, room: Thermostat):
+        self.room = room
+
+    def apply(self, command: float) -> None:
+        self.room.heater = max(0.0, self.room.heater + command)
+
+
+class TemperatureSensor:
+    """Reads a voltage proportional to temperature (transducer converts)."""
+
+    def __init__(self, room: Thermostat):
+        self.room = room
+
+    def read(self) -> float:
+        return self.room.temperature / 10.0  # volts
+
+
+def build_loop():
+    room = Thermostat()
+    loop = FeedbackLoop(
+        plant=room,
+        sensor=TemperatureSensor(room),
+        transducer=lambda volts: volts * 10.0,  # volts -> Celsius
+        controller=DiscretePID(PIDGains(kp=0.2, ki=0.1, kd=0.0)),
+        actuator=HeaterActuator(room),
+    )
+    return room, loop
+
+
+class TestFeedbackLoop:
+    def test_converges_to_reference(self):
+        room, loop = build_loop()
+        records = loop.run([21.0] * 60)
+        assert room.temperature == pytest.approx(21.0, abs=0.2)
+        assert abs(records[-1].error) < 0.2
+
+    def test_record_fields_consistent(self):
+        _, loop = build_loop()
+        record = loop.iterate(21.0)
+        assert record.reference == 21.0
+        assert record.transduced == pytest.approx(record.measurement * 10.0)
+        assert record.error == pytest.approx(21.0 - record.transduced)
+
+    def test_tracks_changing_reference(self):
+        room, loop = build_loop()
+        loop.run([20.0] * 50)
+        loop.run([25.0] * 50)
+        assert room.temperature == pytest.approx(25.0, abs=0.3)
+
+    def test_protocol_conformance(self):
+        """The PIC building blocks satisfy the loop protocols."""
+        from repro.cmpsim.dvfs import DVFSTable
+        from repro.control.loop import Actuator, Controller, Sensor
+        from repro.pic.actuator import DVFSActuator
+        from repro.pic.sensor import CallbackSensor
+
+        assert isinstance(CallbackSensor(lambda: 0.5), Sensor)
+        assert isinstance(DiscretePID(PIDGains(1, 1, 1)), Controller)
+        assert isinstance(DVFSActuator(DVFSTable()), Actuator)

@@ -1,0 +1,140 @@
+"""Robustness under injected faults.
+
+Exercises the paper's stability claim (Eq. 13: stable for true gains up
+to g× the design) end to end, plus graceful degradation under sensing
+and actuation failures the analysis does not cover.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cmpsim.simulator import Simulation
+from repro.config import DEFAULT_CONFIG
+from repro.core.calibration import default_calibration
+from repro.core.cpm import CPMScheme
+from repro.faults import (
+    BiasedTransducer,
+    GainError,
+    LaggedActuator,
+    NoisySensor,
+    StuckSensor,
+    inject,
+)
+
+pytestmark = pytest.mark.slow
+
+BUDGET = 0.8
+
+
+def run_with_faults(*faults, n_gpm=12, budget=BUDGET):
+    scheme = inject(CPMScheme(), *faults) if faults else CPMScheme()
+    sim = Simulation(DEFAULT_CONFIG, scheme, budget_fraction=budget)
+    return sim.run(n_gpm)
+
+
+def tracking_error(result) -> float:
+    chip = result.telemetry["chip_power_frac"][30:]
+    return float(np.abs(chip / result.budget_fraction - 1.0).mean())
+
+
+class TestGainError:
+    def test_stable_within_analytic_margin(self):
+        """The loop stays usable at gain errors inside the Eq. 13 bound."""
+        cal = default_calibration(DEFAULT_CONFIG)
+        safe = 0.9 * cal.stability_limit
+        result = run_with_faults(GainError(multiplier=safe))
+        assert tracking_error(result) < 0.10
+        assert np.isfinite(result.telemetry["chip_power_frac"]).all()
+
+    def test_degrades_beyond_margin(self):
+        """Past the margin the loop falls into a dither limit cycle: the
+        actuator clamps bound the divergence, but the tick-to-tick power
+        swing (the instability signature) grows sharply."""
+        cal = default_calibration(DEFAULT_CONFIG)
+        nominal = run_with_faults()
+        beyond = run_with_faults(GainError(multiplier=2.5 * cal.stability_limit))
+
+        def dither(run):
+            chip = run.telemetry["chip_power_frac"][30:]
+            return float(np.abs(np.diff(chip)).mean())
+
+        assert dither(beyond) > 2.0 * dither(nominal)
+
+    def test_small_gain_error_harmless(self):
+        nominal = run_with_faults()
+        off = run_with_faults(GainError(multiplier=1.2))
+        assert abs(tracking_error(off) - tracking_error(nominal)) < 0.03
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GainError(multiplier=0.0)
+
+
+class TestSensingFaults:
+    def test_bias_shifts_actual_power(self):
+        """A +bias transducer makes the loop believe power is higher than
+        it is, so actual consumption lands *below* target by ~the bias."""
+        bias = 0.01
+        clean = run_with_faults()
+        biased = run_with_faults(BiasedTransducer(bias=bias))
+        clean_mean = clean.telemetry["chip_power_frac"][30:].mean()
+        biased_mean = biased.telemetry["chip_power_frac"][30:].mean()
+        shift = clean_mean - biased_mean
+        assert shift == pytest.approx(
+            bias * DEFAULT_CONFIG.n_islands, rel=0.5
+        )
+
+    def test_noise_increases_power_variance_but_not_mean(self):
+        clean = run_with_faults()
+        noisy = run_with_faults(NoisySensor(sigma=0.05, seed=3))
+        c = clean.telemetry["chip_power_frac"][30:]
+        n = noisy.telemetry["chip_power_frac"][30:]
+        assert n.std() > c.std()
+        assert n.mean() == pytest.approx(c.mean(), abs=0.03)
+
+    def test_stuck_sensor_contained_to_one_island(self):
+        """A dead counter on island 2 breaks that island's capping but
+        the other islands keep tracking their set-points."""
+        result = run_with_faults(StuckSensor(island=2, stick_after=30))
+        power = result.telemetry["island_power_frac"][40:]
+        setpoints = result.telemetry["island_setpoint_frac"][40:]
+        errors = np.abs(power - setpoints).mean(axis=0)
+        healthy = [0, 1, 3]
+        assert errors[healthy].max() < 0.02
+
+    def test_stuck_sensor_island_validated(self):
+        scheme = inject(CPMScheme(), StuckSensor(island=9))
+        sim = Simulation(DEFAULT_CONFIG, scheme, budget_fraction=BUDGET)
+        with pytest.raises(ValueError):
+            sim.run(1)
+
+
+class TestActuatorFaults:
+    def test_one_extra_delay_tolerated(self):
+        """An extra sample of actuation lag degrades but does not
+        destabilize the loop (phase margin survives)."""
+        result = run_with_faults(LaggedActuator())
+        chip = result.telemetry["chip_power_frac"][30:]
+        assert np.isfinite(chip).all()
+        assert tracking_error(result) < 0.12
+
+
+class TestComposition:
+    def test_multiple_faults_compose(self):
+        result = run_with_faults(
+            GainError(multiplier=1.2),
+            NoisySensor(sigma=0.02, seed=1),
+            BiasedTransducer(bias=0.005),
+        )
+        assert np.isfinite(result.telemetry["chip_power_frac"]).all()
+
+    def test_wrapper_preserves_scheme_protocol(self):
+        from repro.cmpsim.simulator import PowerScheme
+
+        wrapped = inject(CPMScheme(), GainError(multiplier=1.1))
+        assert isinstance(wrapped, PowerScheme)
+        assert wrapped.name.endswith("+faults")
+
+    def test_inject_requires_faults(self):
+        with pytest.raises(ValueError):
+            inject(CPMScheme())

@@ -1,0 +1,93 @@
+"""Energy-aware provisioning: performance-floored power minimization."""
+
+import numpy as np
+import pytest
+
+from repro.cmpsim.simulator import Simulation
+from repro.config import DEFAULT_CONFIG
+from repro.core.cpm import CPMScheme
+from repro.core.metrics import performance_degradation
+from repro.gpm.energy_aware import EnergyAwarePolicy
+from repro.gpm.policy import GPMContext
+
+from test_gpm_policies import context, window  # shared fixtures/helpers
+
+N = 4
+
+
+class TestUnit:
+    def test_equal_split_before_measurements(self):
+        policy = EnergyAwarePolicy()
+        out = policy.provision(context())
+        np.testing.assert_allclose(out, 0.7 / N)
+
+    def test_underspends_budget(self):
+        policy = EnergyAwarePolicy(performance_floor=0.9)
+        w = window([0.15, 0.15, 0.15, 0.15], [2.0, 0.5, 2.0, 0.5])
+        ctx = context(
+            windows=[w], frequency=np.full(N, 2.0), f_max=2.0
+        )
+        out = policy.provision(ctx)
+        assert out.sum() < ctx.budget
+        assert np.all(out >= ctx.island_min - 1e-12)
+
+    def test_memory_bound_islands_trimmed_first(self):
+        """Low-BIPS, low-utilization islands are the cheapest power."""
+        policy = EnergyAwarePolicy(performance_floor=0.93)
+        w = window([0.16, 0.16, 0.16, 0.16], [2.5, 0.3, 2.5, 0.3])
+        # Utilization marks islands 1 and 3 as stall-heavy.
+        w = type(w)(
+            island_power_frac=w.island_power_frac,
+            island_bips=w.island_bips,
+            island_utilization=np.array([0.9, 0.4, 0.9, 0.4]),
+            island_setpoints=w.island_setpoints,
+            island_energy_j=w.island_energy_j,
+            island_instructions=w.island_instructions,
+            duration_s=w.duration_s,
+        )
+        ctx = context(windows=[w], frequency=np.full(N, 2.0), f_max=2.0)
+        out = policy.provision(ctx)
+        assert out[1] < out[0]
+        assert out[3] < out[2]
+
+    def test_stricter_floor_spends_more(self):
+        w = window([0.16] * 4, [2.0, 0.5, 2.0, 0.5])
+        ctx = context(windows=[w], frequency=np.full(N, 2.0), f_max=2.0)
+        loose = EnergyAwarePolicy(performance_floor=0.85).provision(ctx)
+        strict = EnergyAwarePolicy(performance_floor=0.99).provision(ctx)
+        assert strict.sum() >= loose.sum() - 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyAwarePolicy(performance_floor=0.0)
+        with pytest.raises(ValueError):
+            EnergyAwarePolicy(trim_step=1.0)
+        with pytest.raises(ValueError):
+            EnergyAwarePolicy(max_trims=0)
+
+
+@pytest.mark.slow
+class TestClosedLoop:
+    def test_saves_power_within_performance_floor(self, nomgmt_run):
+        scheme = CPMScheme(policy=EnergyAwarePolicy(performance_floor=0.95))
+        result = Simulation(
+            DEFAULT_CONFIG, scheme, budget_fraction=0.9
+        ).run(12)
+        # Saves real power vs the unmanaged run...
+        assert result.mean_chip_power_frac < nomgmt_run.mean_chip_power_frac - 0.01
+        # ...without busting the performance guarantee by much more than
+        # the predictor's error margin.
+        deg = performance_degradation(result, nomgmt_run)
+        assert deg < 0.10
+
+    def test_power_does_not_ratchet_down(self):
+        """The de-throttled baseline prevents the death spiral where each
+        window rebases on the previous window's throttled demand."""
+        scheme = CPMScheme(policy=EnergyAwarePolicy(performance_floor=0.95))
+        result = Simulation(
+            DEFAULT_CONFIG, scheme, budget_fraction=0.9
+        ).run(20)
+        chip = result.telemetry["chip_power_frac"]
+        early = chip[40:80].mean()
+        late = chip[-40:].mean()
+        assert late > 0.7 * early

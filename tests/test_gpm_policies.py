@@ -1,0 +1,336 @@
+"""GPM tier: context helpers, policies, the manager's invariants."""
+
+import numpy as np
+import pytest
+
+from repro.cmpsim.telemetry import WindowStats
+from repro.gpm.manager import GlobalPowerManager
+from repro.gpm.performance_aware import PerformanceAwarePolicy
+from repro.gpm.policy import GPMContext, UniformPolicy, clamp_and_redistribute
+from repro.gpm.thermal_aware import ThermalAwarePolicy
+from repro.gpm.variation_aware import VariationAwarePolicy
+
+N = 4
+BUDGET = 0.7
+
+
+def window(power, bips, setpoints=None, duration=5e-3):
+    power = np.asarray(power, dtype=float)
+    bips = np.asarray(bips, dtype=float)
+    if setpoints is None:
+        setpoints = power.copy()
+    return WindowStats(
+        island_power_frac=power,
+        island_bips=bips,
+        island_utilization=np.full(N, 0.7),
+        island_setpoints=np.asarray(setpoints, dtype=float),
+        island_energy_j=power * 85.0 * duration,
+        island_instructions=bips * 1e9 * duration,
+        duration_s=duration,
+    )
+
+
+def context(windows=(), budget=BUDGET, frequency=None, f_max=2.0):
+    return GPMContext(
+        budget=budget,
+        n_islands=N,
+        windows=list(windows),
+        island_min=np.full(N, 0.02),
+        island_max=np.full(N, 0.24),
+        adjacent_pairs=frozenset({(0, 1), (2, 3)}),
+        island_leakage=np.ones(N),
+        island_frequency=frequency,
+        f_max=f_max,
+    )
+
+
+class TestClampAndRedistribute:
+    LO = np.full(4, 0.05)
+    HI = np.full(4, 0.30)
+
+    def test_preserves_feasible_total(self):
+        shares = np.array([0.1, 0.2, 0.15, 0.25])
+        out = clamp_and_redistribute(shares, 0.7, self.LO, self.HI)
+        assert out.sum() == pytest.approx(0.7)
+
+    def test_moves_excess_off_capped_islands(self):
+        shares = np.array([0.5, 0.1, 0.05, 0.05])
+        out = clamp_and_redistribute(shares, 0.7, self.LO, self.HI)
+        assert out[0] == pytest.approx(0.30)
+        assert out.sum() == pytest.approx(0.7)
+        assert np.all(out >= self.LO - 1e-12)
+
+    def test_infeasible_totals_return_boundary(self):
+        shares = np.full(4, 0.2)
+        np.testing.assert_allclose(
+            clamp_and_redistribute(shares, 0.05, self.LO, self.HI), self.LO
+        )
+        np.testing.assert_allclose(
+            clamp_and_redistribute(shares, 5.0, self.LO, self.HI), self.HI
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clamp_and_redistribute(np.ones(4), 1.0, self.HI, self.LO)
+        with pytest.raises(ValueError):
+            clamp_and_redistribute(np.ones(3), 1.0, self.LO, self.HI)
+
+
+class TestUniformPolicy:
+    def test_equal_split(self):
+        out = UniformPolicy().provision(context())
+        np.testing.assert_allclose(out, BUDGET / N)
+
+
+class TestPerformanceAware:
+    def test_equal_until_two_windows(self):
+        policy = PerformanceAwarePolicy()
+        out = policy.provision(context(windows=[window([0.17] * 4, [2.0] * 4)]))
+        np.testing.assert_allclose(out, BUDGET / N)
+
+    def test_sums_to_budget(self):
+        policy = PerformanceAwarePolicy()
+        windows = [
+            window([0.17, 0.18, 0.16, 0.19], [2.0, 0.5, 2.1, 0.6]),
+            window([0.19, 0.16, 0.17, 0.18], [2.2, 0.5, 2.1, 0.6]),
+        ]
+        out = policy.provision(context(windows=windows))
+        assert out.sum() == pytest.approx(BUDGET)
+
+    def test_power_converters_gain_share(self):
+        """An island whose BIPS tracked its power rise scores phi > 1 and
+        gains budget; one whose BIPS ignored the same rise loses it."""
+        policy = PerformanceAwarePolicy(smoothing=1.0)
+        prev = window([0.15, 0.15, 0.17, 0.17], [2.0, 0.5, 2.0, 0.5])
+        # Islands 0,1 both got +20% power; island 0 converted it fully,
+        # island 1 not at all.
+        now = window(
+            [0.18, 0.18, 0.17, 0.17], [2.0 * 1.2**0.5, 0.5, 2.0, 0.5]
+        )
+        out = policy.provision(context(windows=[prev, now]))
+        assert out[0] > out[1]
+
+    def test_eq6_mode_reverts_to_equal_at_steady_state(self):
+        policy = PerformanceAwarePolicy(mode="eq6", smoothing=1.0)
+        steady = window([0.17] * 4, [2.0, 0.5, 2.0, 0.5])
+        out = policy.provision(context(windows=[steady, steady]))
+        np.testing.assert_allclose(out, BUDGET / N, rtol=1e-9)
+
+    def test_proportional_mode_keeps_differentiation(self):
+        policy = PerformanceAwarePolicy(mode="proportional", smoothing=1.0)
+        prev = window([0.15, 0.15, 0.17, 0.17], [2.0, 0.5, 2.0, 0.5])
+        now = window([0.18, 0.18, 0.17, 0.17], [2.4, 0.5, 2.0, 0.5])
+        first = policy.provision(context(windows=[prev, now]))
+        # Steady phase afterwards: shares persist instead of re-equalizing.
+        steady = window(first.copy(), [2.4, 0.5, 2.0, 0.5], setpoints=first)
+        second = policy.provision(context(windows=[now, steady]))
+        assert second[0] > BUDGET / N
+
+    def test_phi_clamped_against_noise_spikes(self):
+        policy = PerformanceAwarePolicy(smoothing=1.0, phi_bounds=(0.5, 2.0))
+        prev = window([0.17] * 4, [2.0, 2.0, 2.0, 2.0])
+        # Absurd BIPS spike on island 3 with unchanged power.
+        now = window([0.17] * 4, [2.0, 2.0, 2.0, 200.0])
+        out = policy.provision(context(windows=[prev, now]))
+        # phi capped at 2: island 3 gets at most 2/(1+1+1+2) of the budget.
+        assert out[3] <= BUDGET * 2.0 / 5.0 + 1e-9
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            PerformanceAwarePolicy(mode="magic")
+        with pytest.raises(ValueError):
+            PerformanceAwarePolicy(phi_bounds=(1.5, 2.0))
+        with pytest.raises(ValueError):
+            PerformanceAwarePolicy(smoothing=0.0)
+
+    def test_reset_clears_state(self):
+        policy = PerformanceAwarePolicy()
+        windows = [
+            window([0.15, 0.18, 0.17, 0.17], [2.0, 0.5, 2.0, 0.5]),
+            window([0.18, 0.15, 0.17, 0.17], [2.4, 0.4, 2.0, 0.5]),
+        ]
+        policy.provision(context(windows=windows))
+        policy.reset()
+        out = policy.provision(context(windows=[windows[0]]))
+        np.testing.assert_allclose(out, BUDGET / N)
+
+
+class TestManager:
+    def test_clamps_to_island_bounds(self):
+        class Greedy:
+            name = "greedy"
+
+            def provision(self, ctx):
+                return np.array([0.6, 0.05, 0.02, 0.03])
+
+        manager = GlobalPowerManager(Greedy())
+        out = manager.provision(context())
+        assert out[0] <= 0.24 + 1e-12
+        assert out.sum() == pytest.approx(BUDGET)
+
+    def test_never_exceeds_budget(self):
+        class OverAsker:
+            name = "over"
+
+            def provision(self, ctx):
+                return np.full(N, 0.5)
+
+        out = GlobalPowerManager(OverAsker()).provision(context())
+        assert out.sum() <= BUDGET + 1e-9
+
+    def test_underspending_policies_preserved(self):
+        class Frugal:
+            name = "frugal"
+
+            def provision(self, ctx):
+                return np.full(N, 0.05)
+
+        out = GlobalPowerManager(Frugal()).provision(context())
+        assert out.sum() == pytest.approx(0.2)
+
+    def test_invalid_policy_output_rejected(self):
+        class Broken:
+            name = "broken"
+
+            def provision(self, ctx):
+                return np.array([0.1, np.nan, 0.1, 0.1])
+
+        with pytest.raises(ValueError):
+            GlobalPowerManager(Broken()).provision(context())
+
+    def test_wrong_shape_rejected(self):
+        class Short:
+            name = "short"
+
+            def provision(self, ctx):
+                return np.array([0.1, 0.1])
+
+        with pytest.raises(ValueError):
+            GlobalPowerManager(Short()).provision(context())
+
+    def test_demand_reclaim(self):
+        """An island pinned at f_max consuming under its set-point has its
+        surplus reclaimed for the others."""
+        manager = GlobalPowerManager(UniformPolicy())
+        w = window(
+            power=[0.10, 0.18, 0.18, 0.18],
+            bips=[0.5, 2.0, 2.0, 2.0],
+            setpoints=[0.175, 0.175, 0.175, 0.175],
+        )
+        ctx = context(
+            windows=[w],
+            frequency=np.array([2.0, 1.5, 1.5, 1.5]),
+        )
+        out = manager.provision(ctx)
+        assert out[0] <= 0.10 * 1.05 + 1e-9
+        assert out[1] > BUDGET / N  # the surplus went somewhere useful
+        assert out.sum() == pytest.approx(BUDGET)
+
+    def test_no_reclaim_when_tracking(self):
+        """Islands below f_max are being actively capped, not demand-limited."""
+        manager = GlobalPowerManager(UniformPolicy())
+        w = window(
+            power=[0.10, 0.18, 0.18, 0.18],
+            bips=[0.5, 2.0, 2.0, 2.0],
+            setpoints=[0.175, 0.175, 0.175, 0.175],
+        )
+        ctx = context(windows=[w], frequency=np.array([1.2, 1.5, 1.5, 1.5]))
+        out = manager.provision(ctx)
+        np.testing.assert_allclose(out, BUDGET / N)
+
+
+class TestThermalAware:
+    def policy(self, **kwargs):
+        defaults = dict(
+            base=UniformPolicy(),
+            pair_share_cap=0.45,
+            pair_consecutive_limit=2,
+            single_share_cap=0.30,
+            single_consecutive_limit=2,
+        )
+        defaults.update(kwargs)
+        return ThermalAwarePolicy(**defaults)
+
+    def test_passthrough_when_compliant(self):
+        policy = self.policy()
+        out = policy.provision(context())
+        np.testing.assert_allclose(out, BUDGET / N)
+
+    def test_pair_streak_enforced(self):
+        class Hot:
+            name = "hot"
+
+            def provision(self, ctx):
+                return np.array([0.20, 0.20, 0.15, 0.15])
+
+        policy = self.policy(base=Hot())
+        ctx = context(budget=BUDGET)
+        pair_cap = 0.45 * BUDGET
+        grants = [policy.provision(ctx) for _ in range(6)]
+        # First `limit` grants may exceed the cap; afterwards never again
+        # more than `limit` consecutive times.
+        over = [g[0] + g[1] > pair_cap + 1e-9 for g in grants]
+        longest = max(
+            len(run) for run in "".join("x" if o else "." for o in over).split(".")
+        )
+        assert longest <= 2
+
+    def test_single_cap_enforced_and_redistributed(self):
+        class Spiky:
+            name = "spiky"
+
+            def provision(self, ctx):
+                return np.array([0.40, 0.10, 0.10, 0.10])
+
+        policy = self.policy(base=Spiky())
+        ctx = context()
+        single_cap = 0.30 * BUDGET
+        for _ in range(2):
+            policy.provision(ctx)
+        out = policy.provision(ctx)  # third consecutive: clamp
+        assert out[0] <= single_cap + 1e-9
+        # Trimmed power redistributed within bounds.
+        assert out.sum() <= BUDGET + 1e-9
+        assert out.sum() > 0.5
+
+    def test_explicit_pairs_override(self):
+        policy = self.policy(adjacent_pairs=frozenset({(1, 2)}))
+        ctx = context()
+        assert policy.constraints(ctx).adjacent_pairs == frozenset({(1, 2)})
+
+    def test_self_constrained_flag(self):
+        assert ThermalAwarePolicy().self_constrained is True
+
+
+class TestVariationAware:
+    def test_stays_within_budget(self):
+        policy = VariationAwarePolicy()
+        windows = [window([0.17] * 4, [2.0, 0.5, 2.0, 0.5])]
+        for _ in range(10):
+            out = policy.provision(context(windows=windows))
+            assert out.sum() <= BUDGET + 1e-9
+            assert np.all(out >= 0.02 - 1e-12)
+
+    def test_explores_after_warmup(self):
+        policy = VariationAwarePolicy(step_fraction=0.1)
+        w1 = window([0.17] * 4, [2.0] * 4)
+        policy.provision(context(windows=[w1]))
+        out2 = policy.provision(context(windows=[w1, w1]))
+        # After two EPI observations the levels move off the equal split.
+        assert not np.allclose(out2, BUDGET / N)
+
+    def test_reset(self):
+        policy = VariationAwarePolicy()
+        w = window([0.17] * 4, [2.0] * 4)
+        policy.provision(context(windows=[w]))
+        policy.reset()
+        out = policy.provision(context(windows=[]))
+        np.testing.assert_allclose(out, BUDGET / N)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VariationAwarePolicy(step_fraction=0.0)
+        with pytest.raises(ValueError):
+            VariationAwarePolicy(hold_intervals=-1)
+        with pytest.raises(ValueError):
+            VariationAwarePolicy(epi_smoothing=1.5)

@@ -1,0 +1,74 @@
+"""Run export: CSV/JSON serialization of telemetry."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.io import result_to_json, save_run, telemetry_to_csv, windows_to_csv
+
+pytestmark = pytest.mark.slow
+
+
+class TestTelemetryCSV:
+    def test_roundtrip_values(self, nomgmt_run, tmp_path):
+        path = tmp_path / "telemetry.csv"
+        n_rows = telemetry_to_csv(nomgmt_run, path)
+        assert n_rows == nomgmt_run.telemetry.n_intervals
+
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        header, data = rows[0], rows[1:]
+        assert len(data) == n_rows
+        # Spot-check one column against the source array.
+        col = header.index("chip_power_frac")
+        values = np.array([float(r[col]) for r in data])
+        np.testing.assert_allclose(
+            values, nomgmt_run.telemetry["chip_power_frac"], rtol=1e-6
+        )
+
+    def test_vector_series_expanded(self, nomgmt_run, tmp_path):
+        path = tmp_path / "telemetry.csv"
+        telemetry_to_csv(nomgmt_run, path)
+        header = path.read_text().splitlines()[0].split(",")
+        n_islands = nomgmt_run.config.n_islands
+        island_cols = [h for h in header if h.startswith("island_power_frac[")]
+        assert len(island_cols) == n_islands
+
+
+class TestWindowsCSV:
+    def test_one_row_per_window(self, nomgmt_run, tmp_path):
+        path = tmp_path / "windows.csv"
+        n = windows_to_csv(nomgmt_run, path)
+        assert n == len(nomgmt_run.telemetry.windows)
+        lines = path.read_text().splitlines()
+        assert len(lines) == n + 1
+
+    def test_energy_column_positive(self, nomgmt_run, tmp_path):
+        path = tmp_path / "windows.csv"
+        windows_to_csv(nomgmt_run, path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert all(float(r["energy_j[0]"]) > 0 for r in rows)
+
+
+class TestJSONSummary:
+    def test_fields(self, nomgmt_run):
+        summary = result_to_json(nomgmt_run)
+        assert summary["scheme"] == "no-management"
+        assert summary["n_cores"] == 8
+        assert summary["n_windows"] == len(nomgmt_run.telemetry.windows)
+        assert 0 < summary["mean_chip_power_frac"] <= 1
+        json.dumps(summary)  # fully serializable
+
+
+class TestSaveRun:
+    def test_writes_all_three(self, nomgmt_run, tmp_path):
+        paths = save_run(nomgmt_run, tmp_path / "exports", stem="baseline")
+        assert set(paths) == {"summary", "telemetry", "windows"}
+        for path in paths.values():
+            assert path.exists()
+            assert path.stat().st_size > 0
+        summary = json.loads(paths["summary"].read_text())
+        assert summary["budget_fraction"] == nomgmt_run.budget_fraction

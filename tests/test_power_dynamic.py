@@ -1,0 +1,112 @@
+"""Dynamic power model and clock gating."""
+
+import numpy as np
+import pytest
+
+from repro.power.clock_gating import LinearClockGating
+from repro.power.dynamic import STRUCTURES, DynamicPowerModel
+
+
+class TestClockGating:
+    def test_floor_and_ceiling(self):
+        gating = LinearClockGating(idle_floor=0.1)
+        assert gating.effective_activity(0.0) == pytest.approx(0.1)
+        assert gating.effective_activity(1.0) == pytest.approx(1.0)
+
+    def test_linear_between(self):
+        gating = LinearClockGating(idle_floor=0.1)
+        assert gating.effective_activity(0.5) == pytest.approx(0.55)
+
+    def test_clips_out_of_range_activity(self):
+        gating = LinearClockGating(idle_floor=0.1)
+        assert gating.effective_activity(-0.5) == pytest.approx(0.1)
+        assert gating.effective_activity(2.0) == pytest.approx(1.0)
+
+    def test_vectorized(self):
+        gating = LinearClockGating(idle_floor=0.2)
+        out = gating.effective_activity(np.array([0.0, 1.0]))
+        np.testing.assert_allclose(out, [0.2, 1.0])
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            LinearClockGating(idle_floor=1.0)
+
+
+class TestStructures:
+    def test_shares_sum_to_one(self):
+        assert sum(s.capacitance_share for s in STRUCTURES) == pytest.approx(1.0)
+
+    def test_clock_tree_is_largest(self):
+        largest = max(STRUCTURES, key=lambda s: s.capacitance_share)
+        assert largest.name == "clock_tree"
+
+
+class TestDynamicPower:
+    def model(self, stall=0.65):
+        return DynamicPowerModel(1.78, stall_activity=stall)
+
+    def test_cv2f_scaling(self):
+        m = self.model()
+        base = m.power(1.0, 1.0, busy=1.0, alpha=1.0)
+        assert m.power(2.0, 1.0, 1.0, 1.0) == pytest.approx(4 * base)
+        assert m.power(1.0, 2.0, 1.0, 1.0) == pytest.approx(2 * base)
+
+    def test_full_activity_power_is_cv2f(self):
+        m = self.model()
+        assert m.power(1.5, 2.0, busy=1.0, alpha=1.0) == pytest.approx(
+            1.78 * 1.5**2 * 2.0
+        )
+
+    def test_monotone_in_busy_and_alpha(self):
+        m = self.model()
+        assert m.power(1.2, 1.4, busy=0.9, alpha=0.8) > m.power(
+            1.2, 1.4, busy=0.5, alpha=0.8
+        )
+        assert m.power(1.2, 1.4, busy=0.9, alpha=0.9) > m.power(
+            1.2, 1.4, busy=0.9, alpha=0.6
+        )
+
+    def test_stalled_core_not_quiet(self):
+        """With stall_activity > 0 a fully-stalled core burns real power."""
+        m = self.model(stall=0.65)
+        stalled = m.power(1.2, 1.4, busy=0.0, alpha=1.0)
+        idle_model = DynamicPowerModel(1.78, stall_activity=0.0)
+        gated = idle_model.power(1.2, 1.4, busy=0.0, alpha=1.0)
+        assert stalled > 2.0 * gated
+
+    def test_core_activity_blends_stall_activity(self):
+        m = self.model(stall=0.5)
+        assert m.core_activity(busy=1.0, alpha=0.8) == pytest.approx(0.8)
+        assert m.core_activity(busy=0.0, alpha=0.8) == pytest.approx(0.5)
+        assert m.core_activity(busy=0.5, alpha=0.8) == pytest.approx(0.65)
+
+    def test_vectorized_over_cores(self):
+        m = self.model()
+        v = np.array([1.2, 1.4])
+        f = np.array([1.0, 1.8])
+        busy = np.array([0.3, 0.9])
+        alpha = np.array([0.7, 0.9])
+        out = m.power(v, f, busy, alpha)
+        assert out.shape == (2,)
+        for i in range(2):
+            assert out[i] == pytest.approx(
+                m.power(float(v[i]), float(f[i]), float(busy[i]), float(alpha[i]))
+            )
+
+    def test_breakdown_sums_to_total(self):
+        m = self.model()
+        total = m.power(1.3, 1.6, busy=0.7, alpha=0.85)
+        breakdown = m.breakdown(1.3, 1.6, busy=0.7, alpha=0.85)
+        assert sum(breakdown.values()) == pytest.approx(total)
+        assert set(breakdown) == {s.name for s in STRUCTURES}
+
+    def test_invalid_inputs(self):
+        m = self.model()
+        with pytest.raises(ValueError):
+            m.power(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            m.power(1.0, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            DynamicPowerModel(-1.0)
+        with pytest.raises(ValueError):
+            DynamicPowerModel(1.0, stall_activity=2.0)

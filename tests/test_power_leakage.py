@@ -1,0 +1,76 @@
+"""Static (leakage) power model."""
+
+import numpy as np
+import pytest
+
+from repro.power.leakage import DEFAULT_VOLTAGE_EXPONENT, LeakagePowerModel
+
+
+def model(**kwargs) -> LeakagePowerModel:
+    defaults = dict(nominal_leakage_w=1.5, nominal_voltage=1.484)
+    defaults.update(kwargs)
+    return LeakagePowerModel(**defaults)
+
+
+class TestVoltageDependence:
+    def test_nominal_point(self):
+        m = model()
+        assert m.power(1.484, 60.0) == pytest.approx(1.5)
+
+    def test_super_quadratic_exponent(self):
+        """DIBL makes leakage fall faster than V^2 — the convex-EPI premise
+        of the variation-aware policy."""
+        m = model()
+        half_v = m.power(1.484 / 2, 60.0)
+        assert half_v < 1.5 / 4.0
+        assert half_v == pytest.approx(1.5 * 0.5**DEFAULT_VOLTAGE_EXPONENT)
+
+    def test_custom_exponent(self):
+        m = model(voltage_exponent=2.0)
+        assert m.power(0.742, 60.0) == pytest.approx(1.5 / 4.0)
+
+
+class TestTemperatureDependence:
+    def test_doubles_every_25c(self):
+        m = model()
+        assert m.power(1.484, 85.0) == pytest.approx(3.0, rel=1e-6)
+        assert m.power(1.484, 35.0) == pytest.approx(1.5 / 2.0, rel=1e-6)
+
+    def test_monotone_in_temperature(self):
+        m = model()
+        temps = np.linspace(40, 100, 13)
+        powers = m.power(1.2, temps)
+        assert np.all(np.diff(powers) > 0)
+
+
+class TestProcessMultiplier:
+    def test_linear_in_multiplier(self):
+        m = model()
+        base = m.power(1.3, 70.0, 1.0)
+        assert m.power(1.3, 70.0, 2.0) == pytest.approx(2 * base)
+
+    def test_vectorized_multipliers(self):
+        m = model()
+        out = m.power(1.3, 70.0, np.array([1.2, 1.5, 2.0, 1.0]))
+        assert out.shape == (4,)
+        assert out[2] == pytest.approx(2 * out[3])
+
+
+class TestValidation:
+    def test_negative_nominal_rejected(self):
+        with pytest.raises(ValueError):
+            model(nominal_leakage_w=-1.0)
+
+    def test_nonpositive_voltage_rejected(self):
+        m = model()
+        with pytest.raises(ValueError):
+            m.power(0.0, 60.0)
+
+    def test_nonpositive_multiplier_rejected(self):
+        m = model()
+        with pytest.raises(ValueError):
+            m.power(1.0, 60.0, 0.0)
+
+    def test_exponent_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            model(voltage_exponent=0.5)

@@ -1,0 +1,74 @@
+"""Randomized end-to-end invariants of the full CPM stack (hypothesis).
+
+These are the contract a downstream user relies on regardless of budget,
+seed or platform shape: the managed chip never runs away above its
+budget, telemetry stays physical, and the run is reproducible.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmpsim.simulator import Simulation
+from repro.config import DEFAULT_CONFIG
+from repro.core.cpm import CPMScheme
+
+pytestmark = pytest.mark.slow
+
+
+class TestManagedRunInvariants:
+    @given(
+        budget=st.floats(0.7, 1.0),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_budget_never_wildly_exceeded(self, budget, seed):
+        sim = Simulation(
+            DEFAULT_CONFIG, CPMScheme(), budget_fraction=budget, seed=seed
+        )
+        result = sim.run(6)
+        chip = result.telemetry["chip_power_frac"]
+        # After the start-up transient (two GPM windows), never more than
+        # 10% above budget; the physical ceiling holds always.
+        assert chip[20:].max() <= min(budget * 1.10, 1.0) + 1e-9
+        assert chip.max() <= 1.0 + 1e-9
+        assert np.isfinite(chip).all()
+
+    @given(
+        budget=st.floats(0.72, 0.95),
+        seed=st.integers(0, 2**16),
+        shape=st.sampled_from([(8, 4), (8, 8), (16, 4)]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_telemetry_physical_across_shapes(self, budget, seed, shape):
+        config = DEFAULT_CONFIG.with_islands(*shape)
+        sim = Simulation(
+            config, CPMScheme(), budget_fraction=budget, seed=seed
+        )
+        result = sim.run(4)
+        t = result.telemetry
+        freqs = t["island_frequency_ghz"]
+        assert freqs.min() >= 0.6 - 1e-9
+        assert freqs.max() <= 2.0 + 1e-9
+        assert (t["island_power_frac"] > 0).all()
+        assert (t["core_temperature_c"] > config.thermal.ambient_c - 1).all()
+        ticks = t.gpm_tick_indices()
+        setpoints = t["island_setpoint_frac"][ticks]
+        distributable = budget - config.uncore_fraction
+        assert (setpoints.sum(axis=1) <= distributable + 1e-6).all()
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=6, deadline=None)
+    def test_bitwise_reproducibility(self, seed):
+        def run():
+            sim = Simulation(
+                DEFAULT_CONFIG, CPMScheme(), budget_fraction=0.8, seed=seed
+            )
+            return sim.run(3)
+
+        a, b = run(), run()
+        np.testing.assert_array_equal(
+            a.telemetry["chip_power_frac"], b.telemetry["chip_power_frac"]
+        )
+        assert a.total_instructions == b.total_instructions

@@ -1,0 +1,162 @@
+"""Property-based tests on provisioning policies and the manager."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmpsim.telemetry import WindowStats
+from repro.gpm.manager import GlobalPowerManager
+from repro.gpm.performance_aware import PerformanceAwarePolicy
+from repro.gpm.policy import GPMContext, UniformPolicy, clamp_and_redistribute
+from repro.gpm.thermal_aware import ThermalAwarePolicy
+
+N = 4
+
+
+def make_window(power, bips):
+    power = np.asarray(power, dtype=float)
+    bips = np.asarray(bips, dtype=float)
+    return WindowStats(
+        island_power_frac=power,
+        island_bips=bips,
+        island_utilization=np.full(N, 0.7),
+        island_setpoints=power.copy(),
+        island_energy_j=power * 85.0 * 5e-3,
+        island_instructions=bips * 1e9 * 5e-3,
+        duration_s=5e-3,
+    )
+
+
+def make_context(windows, budget=0.7):
+    return GPMContext(
+        budget=budget,
+        n_islands=N,
+        windows=windows,
+        island_min=np.full(N, 0.02),
+        island_max=np.full(N, 0.25),
+        adjacent_pairs=frozenset({(0, 1), (2, 3)}),
+        island_leakage=np.ones(N),
+    )
+
+
+island_values = st.lists(
+    st.floats(0.03, 0.24), min_size=N, max_size=N
+)
+bips_values = st.lists(st.floats(0.1, 5.0), min_size=N, max_size=N)
+
+
+class TestClampRedistributeProperties:
+    @given(
+        shares=st.lists(st.floats(0.0, 1.0), min_size=N, max_size=N),
+        total=st.floats(0.1, 0.9),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_result_within_bounds_and_total(self, shares, total):
+        lo = np.full(N, 0.02)
+        hi = np.full(N, 0.25)
+        out = clamp_and_redistribute(np.asarray(shares), total, lo, hi)
+        assert np.all(out >= lo - 1e-9)
+        assert np.all(out <= hi + 1e-9)
+        feasible = lo.sum() <= total <= hi.sum()
+        if feasible:
+            assert out.sum() == pytest.approx(total, abs=1e-6)
+
+
+class TestPerformanceAwareProperties:
+    @given(
+        p1=island_values, b1=bips_values, p2=island_values, b2=bips_values,
+        mode=st.sampled_from(["eq6", "proportional"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budget_conservation(self, p1, b1, p2, b2, mode):
+        """Eq. 6's invariant: provisions always sum to the budget."""
+        policy = PerformanceAwarePolicy(mode=mode)
+        ctx = make_context([make_window(p1, b1), make_window(p2, b2)])
+        out = policy.provision(ctx)
+        assert out.sum() == pytest.approx(ctx.budget, rel=1e-9)
+        assert np.all(out > 0)
+
+    @given(
+        p1=island_values, b1=bips_values, p2=island_values, b2=bips_values,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_phi_bounds_limit_ratio(self, p1, b1, p2, b2):
+        policy = PerformanceAwarePolicy(phi_bounds=(0.5, 2.0), smoothing=1.0,
+                                        mode="eq6")
+        ctx = make_context([make_window(p1, b1), make_window(p2, b2)])
+        out = policy.provision(ctx)
+        # With phi in [0.5, 2], no island can get more than 4x another.
+        assert out.max() / out.min() <= 4.0 + 1e-9
+
+
+class TestManagerProperties:
+    @given(
+        raw=st.lists(st.floats(0.0, 0.5), min_size=N, max_size=N),
+        budget=st.floats(0.2, 0.9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_always_feasible(self, raw, budget):
+        class Fixed:
+            name = "fixed"
+
+            def provision(self, ctx):
+                return np.asarray(raw)
+
+        ctx = make_context([], budget=budget)
+        out = GlobalPowerManager(Fixed()).provision(ctx)
+        assert out.sum() <= budget + 1e-6
+        assert np.all(out >= ctx.island_min - 1e-9)
+        assert np.all(out <= ctx.island_max + 1e-9)
+
+
+class TestThermalAwareProperties:
+    @given(
+        request=st.lists(st.floats(0.05, 0.30), min_size=N, max_size=N),
+        rounds=st.integers(3, 8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_streaks_never_exceed_limits(self, request, rounds):
+        """However greedy the base policy, an over-cap streak never runs
+        longer than the configured limit."""
+
+        class Fixed:
+            name = "fixed"
+
+            def provision(self, ctx):
+                return np.asarray(request)
+
+        policy = ThermalAwarePolicy(
+            base=Fixed(),
+            pair_share_cap=0.45,
+            pair_consecutive_limit=2,
+            single_share_cap=0.35,
+            single_consecutive_limit=2,
+        )
+        ctx = make_context([])
+        pair_cap = 0.45 * ctx.budget
+        single_cap = 0.35 * ctx.budget
+        pair_streak = {(0, 1): 0, (2, 3): 0}
+        single_streak = np.zeros(N, dtype=int)
+        for _ in range(rounds):
+            out = policy.provision(ctx)
+            assert out.sum() <= ctx.budget + 1e-6
+            for pair in pair_streak:
+                a, b = pair
+                if out[a] + out[b] > pair_cap + 1e-9:
+                    pair_streak[pair] += 1
+                else:
+                    pair_streak[pair] = 0
+                assert pair_streak[pair] <= 2
+            over = out > single_cap + 1e-9
+            single_streak = np.where(over, single_streak + 1, 0)
+            assert single_streak.max() <= 2
+
+
+class TestUniformPolicyProperties:
+    @given(budget=st.floats(0.1, 0.9))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_equal_split(self, budget):
+        ctx = make_context([], budget=budget)
+        out = UniformPolicy().provision(ctx)
+        np.testing.assert_allclose(out, budget / N)

@@ -1,0 +1,80 @@
+"""Plain-text rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.reporting import (
+    as_percent,
+    format_series,
+    format_table,
+    format_value,
+    sparkline,
+)
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(0.12345) == "0.1235"
+        assert format_value(12.345) == "12.35"
+        assert format_value(12345.6) == "12,346"
+        assert format_value(float("nan")) == "nan"
+
+    def test_non_floats(self):
+        assert format_value(3) == "3"
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(
+            ["name", "value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        # All data rows have the same width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        s = sparkline([0, 1, 2, 3])
+        assert s[0] == "▁"
+        assert s[-1] == "█"
+        assert len(s) == 4
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_resampling(self):
+        s = sparkline(np.arange(100), width=10)
+        assert len(s) == 10
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestFormatSeries:
+    def test_includes_stats(self):
+        out = format_series({"power": [0.1, 0.2, 0.3]})
+        assert "min 0.1000" in out
+        assert "max 0.3000" in out
+        assert "mean 0.2000" in out
+
+    def test_handles_empty_series(self):
+        out = format_series({"nothing": []})
+        assert "(empty)" in out
+
+    def test_labels_aligned(self):
+        out = format_series({"a": [1, 2], "longer": [1, 2]})
+        lines = out.splitlines()
+        assert lines[0].index("▁") == lines[1].index("▁")
+
+
+def test_as_percent():
+    assert as_percent(0.0415) == "4.15%"
+    assert as_percent(0.5, digits=0) == "50%"

@@ -1,0 +1,88 @@
+"""docs/TUTORIAL.md's snippets execute and their claims hold."""
+
+import numpy as np
+import pytest
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def excitation_run():
+    from repro import DEFAULT_CONFIG, Simulation
+    from repro.core.calibration import WhiteNoiseDVFSScheme
+
+    sim = Simulation(
+        DEFAULT_CONFIG, WhiteNoiseDVFSScheme(seed=1), budget_fraction=1.0,
+        seed=1,
+    )
+    return sim.run(10)
+
+
+@pytest.fixture(scope="module")
+def identified_gain(excitation_run):
+    from repro.control import fit_system_gain
+
+    freq = excitation_run.telemetry["island_frequency_ghz"]
+    power = excitation_run.telemetry["island_power_frac"]
+    return fit_system_gain(
+        np.diff(freq, axis=0).ravel(), np.diff(power, axis=0).ravel()
+    )
+
+
+def test_step1_free_run(nomgmt_run):
+    assert 0.7 < nomgmt_run.mean_chip_power_frac < 0.95
+
+
+def test_step2_identification(identified_gain):
+    assert 0.05 < identified_gain.gain < 0.3
+    assert identified_gain.r_squared > 0.6
+
+
+def test_step3_design(identified_gain):
+    from repro.control import design_pid, stability_gain_limit
+    from repro.control.pole_placement import closed_loop
+
+    poles = (-0.15 + 0j, 0.35 + 0.25j, 0.35 - 0.25j)
+    gains = design_pid(identified_gain.gain, poles)
+    loop = closed_loop(identified_gain.gain, gains)
+    assert loop.is_stable()
+    assert abs(loop.dc_gain() - 1.0) < 1e-9
+    assert stability_gain_limit(identified_gain.gain, gains) > 1.3
+
+
+def test_step4_transducer(excitation_run):
+    from repro.power import fit_transducer
+
+    transducer = fit_transducer(
+        excitation_run.telemetry["island_utilization"][:, 0],
+        excitation_run.telemetry["island_power_frac"][:, 0],
+    )
+    assert transducer.r_squared > 0.9
+    assert transducer(0.8) > transducer(0.4)
+
+
+def test_step5_controller(excitation_run, identified_gain):
+    from repro.cmpsim import DVFSTable
+    from repro.control import design_pid
+    from repro.pic import DVFSActuator, PerIslandController
+    from repro.power import fit_transducer
+
+    poles = (-0.15 + 0j, 0.35 + 0.25j, 0.35 - 0.25j)
+    gains = design_pid(identified_gain.gain, poles)
+    transducer = fit_transducer(
+        excitation_run.telemetry["island_utilization"][:, 0],
+        excitation_run.telemetry["island_power_frac"][:, 0],
+    )
+    controller = PerIslandController(
+        gains=gains,
+        transducer=transducer,
+        actuator=DVFSActuator(DVFSTable(), initial_frequency=1.6),
+    )
+    invocation = controller.invoke(setpoint=0.17, utilization=0.75)
+    assert invocation.sensed_power == pytest.approx(transducer(0.75))
+    assert 0.6 <= invocation.applied_frequency <= 2.0
+
+
+def test_step6_full_scheme(cpm_run_80):
+    chip = cpm_run_80.telemetry["chip_power_frac"][50:]
+    assert abs(chip.mean() - 0.8) < 0.04

@@ -1,0 +1,80 @@
+"""Process-variation substrate."""
+
+import numpy as np
+import pytest
+
+from repro.thermal.floorplan import grid_floorplan
+from repro.variation.leakage_variation import (
+    PAPER_ISLAND_MULTIPLIERS,
+    island_multipliers_to_cores,
+    uniform_multipliers,
+)
+from repro.variation.process import sample_variation_map
+
+
+class TestLeakageVariation:
+    def test_paper_multipliers(self):
+        assert PAPER_ISLAND_MULTIPLIERS == (1.2, 1.5, 2.0, 1.0)
+
+    def test_uniform(self):
+        np.testing.assert_allclose(uniform_multipliers(8), np.ones(8))
+        with pytest.raises(ValueError):
+            uniform_multipliers(0)
+
+    def test_expansion_to_cores(self):
+        cores = island_multipliers_to_cores(PAPER_ISLAND_MULTIPLIERS, 2)
+        np.testing.assert_allclose(
+            cores, [1.2, 1.2, 1.5, 1.5, 2.0, 2.0, 1.0, 1.0]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            island_multipliers_to_cores([], 2)
+        with pytest.raises(ValueError):
+            island_multipliers_to_cores([1.0, -1.0], 2)
+        with pytest.raises(ValueError):
+            island_multipliers_to_cores([1.0], 0)
+
+
+class TestVariationMap:
+    def test_mean_near_one(self):
+        fp = grid_floorplan(32)
+        vmap = sample_variation_map(fp, np.random.default_rng(0), sigma=0.25)
+        assert vmap.multipliers.shape == (32,)
+        assert np.exp(np.log(vmap.multipliers).mean()) == pytest.approx(1.0)
+        assert np.all(vmap.multipliers > 0)
+
+    def test_spatial_correlation(self):
+        """Neighbouring cores correlate more than distant ones."""
+        fp = grid_floorplan(32)
+        rng = np.random.default_rng(1)
+        neighbor_diffs, distant_diffs = [], []
+        for _ in range(40):
+            field = np.log(
+                sample_variation_map(fp, rng, sigma=0.3, correlation_length=3.0)
+                .multipliers
+            )
+            neighbor_diffs.append(np.abs(field[0] - field[1]))
+            distant_diffs.append(np.abs(field[0] - field[15]))
+        assert np.mean(neighbor_diffs) < np.mean(distant_diffs)
+
+    def test_island_means(self):
+        fp = grid_floorplan(8)
+        vmap = sample_variation_map(fp, np.random.default_rng(2))
+        island_of_core = np.array([0, 0, 1, 1, 2, 2, 3, 3])
+        means = vmap.island_means(island_of_core)
+        assert means.shape == (4,)
+        assert means[0] == pytest.approx(vmap.multipliers[:2].mean())
+
+    def test_zero_sigma_degenerates_to_uniform(self):
+        fp = grid_floorplan(8)
+        vmap = sample_variation_map(fp, np.random.default_rng(3), sigma=0.0)
+        np.testing.assert_allclose(vmap.multipliers, 1.0, atol=1e-4)
+
+    def test_validation(self):
+        fp = grid_floorplan(4)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_variation_map(fp, rng, sigma=-0.1)
+        with pytest.raises(ValueError):
+            sample_variation_map(fp, rng, correlation_length=0.0)

@@ -1,0 +1,88 @@
+"""Table III mixes and island assignment."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.workloads.mixes import MIX1, MIX2, MIX3, Mix, mix_for_config, thermal_mix
+
+
+class TestPaperMixes:
+    def test_mix1_pairs_c_with_m(self):
+        assert MIX1.n_cores == 8
+        assert MIX1.n_islands == 4
+        assert MIX1.characteristics() == ("C,M", "C,M", "C,M", "C,M")
+
+    def test_mix2_homogeneous_islands(self):
+        assert MIX2.characteristics() == ("C,C", "M,M", "C,C", "M,M")
+
+    def test_mix3_sixteen_cores(self):
+        assert MIX3.n_cores == 16
+        assert MIX3.n_islands == 4
+        chars = MIX3.characteristics()
+        assert chars[0] == "C,C,C,C"
+        assert chars[1] == "M,M,M,M"
+
+    def test_thermal_mix_single_core_islands(self):
+        mix = thermal_mix()
+        assert mix.n_cores == 8
+        assert mix.n_islands == 8
+        assert [apps[0] for apps in mix.islands[:4]] == [
+            "mesa", "bzip2", "gcc", "sixtrack",
+        ]
+
+    def test_specs_flattened_in_core_order(self):
+        specs = MIX1.specs()
+        assert len(specs) == 8
+        assert specs[0].name == "blackscholes"
+        assert specs[1].name == "streamcluster"
+
+
+class TestReplication:
+    def test_replicated_doubles(self):
+        mix32 = MIX3.replicated(2)
+        assert mix32.n_cores == 32
+        assert mix32.n_islands == 8
+        assert mix32.islands[4:] == MIX3.islands
+
+    def test_replicated_requires_positive(self):
+        with pytest.raises(ValueError):
+            MIX1.replicated(0)
+
+
+class TestMixForConfig:
+    def test_default_8core_is_mix1(self):
+        assert mix_for_config(DEFAULT_CONFIG) is MIX1
+
+    def test_16core_is_mix3(self):
+        cfg = DEFAULT_CONFIG.with_islands(16, 4)
+        assert mix_for_config(cfg) is MIX3
+
+    def test_32core_is_mix3_twice(self):
+        cfg = DEFAULT_CONFIG.with_islands(32, 8)
+        mix = mix_for_config(cfg)
+        assert mix.n_cores == 32
+        assert mix.n_islands == 8
+
+    def test_regrouping_preserves_apps(self):
+        """8 cores in 8 single-core islands: same apps, regrouped."""
+        cfg = DEFAULT_CONFIG.with_islands(8, 8)
+        mix = mix_for_config(cfg, MIX1)
+        flat = [name for island in mix.islands for name in island]
+        assert flat == [name for island in MIX1.islands for name in island]
+        assert mix.n_islands == 8
+
+    def test_regrouping_to_two_islands(self):
+        cfg = DEFAULT_CONFIG.with_islands(8, 2)
+        mix = mix_for_config(cfg, MIX1)
+        assert mix.n_islands == 2
+        assert mix.n_cores == 8
+
+    def test_explicit_mix_matching_shape_passthrough(self):
+        assert mix_for_config(DEFAULT_CONFIG, MIX2) is MIX2
+
+
+def test_mix_is_value_object():
+    a = Mix(name="x", islands=(("vips",),))
+    b = Mix(name="x", islands=(("vips",),))
+    assert a == b
+    assert hash(a) == hash(b)
