@@ -28,6 +28,8 @@ from ..power.dynamic import STRUCTURES
 from ..reporting import format_table
 from ..workloads.mixes import mix_for_config
 
+__all__ = ["EnergyBreakdown", "energy_breakdown", "verify_reconstruction"]
+
 
 @dataclass(frozen=True)
 class EnergyBreakdown:

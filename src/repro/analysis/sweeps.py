@@ -32,6 +32,14 @@ from ..reporting import format_table
 from ..rng import DEFAULT_SEED
 from ..workloads.mixes import Mix
 
+__all__ = [
+    "SchemeFactory",
+    "SweepPoint",
+    "SweepResult",
+    "budget_sweep",
+    "scheme_sweep",
+]
+
 #: A factory is required (not an instance) because schemes are stateful:
 #: every sweep point needs a fresh one.
 SchemeFactory = Callable[[], PowerScheme]
@@ -55,7 +63,7 @@ class SweepPoint:
         return float(self.result.telemetry["chip_power_frac"].max())
 
 
-@dataclass
+@dataclass(frozen=True)
 class SweepResult:
     """All points of a sweep plus rendering helpers."""
 

@@ -38,6 +38,8 @@ import numpy as np
 
 from ..cmpsim.simulator import Simulation
 
+__all__ = ["MaxBIPSScheme"]
+
 
 class MaxBIPSScheme:
     """Open-loop, static-prediction-table global power manager."""

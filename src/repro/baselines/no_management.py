@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from ..cmpsim.simulator import Simulation
 
+__all__ = ["NoManagementScheme"]
+
 
 class NoManagementScheme:
     """Pin every island at the top of the DVFS ladder."""

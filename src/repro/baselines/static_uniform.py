@@ -11,6 +11,8 @@ from __future__ import annotations
 from ..core.cpm import CPMScheme
 from ..gpm.policy import UniformPolicy
 
+__all__ = ["StaticUniformScheme"]
+
 
 class StaticUniformScheme(CPMScheme):
     """CPM with the uniform policy — equal shares, closed-loop capping."""

@@ -42,6 +42,19 @@ from .gpm import (
 )
 from .reporting import as_percent, format_series, format_table
 from .rng import DEFAULT_SEED
+from . import units
+
+__all__ = [
+    "POLICIES",
+    "SCHEMES",
+    "build_parser",
+    "cmd_calibrate",
+    "cmd_compare",
+    "cmd_experiment",
+    "cmd_run",
+    "cmd_sweep",
+    "main",
+]
 
 POLICIES = {
     "performance": PerformanceAwarePolicy,
@@ -181,7 +194,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     budgets = [round(b, 6) for b in
-               list(np.arange(start, stop + 1e-9, step))]
+               list(np.arange(start, stop + units.EPS, step))]
     result = budget_sweep(
         lambda: _build_scheme(args),
         budgets=budgets,

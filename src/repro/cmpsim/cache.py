@@ -15,6 +15,8 @@ import numpy as np
 
 from ..config import CoreConfig, MemoryConfig
 
+__all__ = ["CacheHierarchy", "CacheStats", "SetAssociativeCache"]
+
 
 @dataclass(frozen=True)
 class CacheStats:

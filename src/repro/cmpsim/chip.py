@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import units
 from ..config import CMPConfig
 from ..power.model import CorePowerModel
 from ..thermal.floorplan import Floorplan, grid_floorplan
@@ -31,6 +32,8 @@ from ..variation.leakage_variation import (
 from ..workloads.benchmark import BenchmarkSpec
 from .core import cpi_stack, utilization_reference
 from .dvfs import DVFSTable
+
+__all__ = ["Chip", "IntervalResult"]
 
 
 @dataclass(frozen=True)
@@ -248,7 +251,8 @@ class Chip:
         activity = self.power_model.dynamic.core_activity(perf.busy, alpha)
         utilization = np.asarray(activity) * freq / self.dvfs.f_max
         np.add.at(island_power, self.island_of_core, core_power)
-        np.add.at(island_bips, self.island_of_core, instructions / effective_dt / 1e9)
+        np.add.at(island_bips, self.island_of_core,
+                  units.bips(instructions, effective_dt))
         np.add.at(island_util, self.island_of_core, utilization)
         island_util /= cfg.cores_per_island
 

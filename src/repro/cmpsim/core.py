@@ -35,8 +35,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import units
 from ..config import MemoryConfig
 from ..workloads.benchmark import BenchmarkSpec
+
+__all__ = [
+    "CPIStackResult",
+    "cpi_stack",
+    "frequency_speedup",
+    "memory_cycles_per_instruction",
+    "utilization_reference",
+]
 
 
 @dataclass(frozen=True)
@@ -54,7 +63,7 @@ def memory_cycles_per_instruction(
     memory: MemoryConfig,
 ) -> np.ndarray | float:
     """Off-chip stall cycles per instruction at ``frequency_ghz``."""
-    latency_ns = memory.memory_latency_s * 1e9
+    latency_ns = memory.memory_latency_s * units.NS_PER_S
     return np.asarray(l2_mpki) / 1000.0 * latency_ns * np.asarray(frequency_ghz)
 
 
@@ -78,7 +87,7 @@ def cpi_stack(
     offchip = memory_cycles_per_instruction(l2_mpki, f, memory)
     cpi = onchip + offchip
     busy = onchip / cpi
-    ips = a * f * 1e9 / cpi
+    ips = a * f * units.GHZ_TO_HZ / cpi
     return CPIStackResult(
         cpi=np.asarray(cpi, dtype=float),
         busy=np.asarray(busy, dtype=float),

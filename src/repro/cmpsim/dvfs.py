@@ -19,6 +19,8 @@ import numpy as np
 
 from ..config import PENTIUM_M_VF_TABLE
 
+__all__ = ["DVFSTable"]
+
 
 class DVFSTable:
     """The discrete voltage/frequency operating points of an island."""

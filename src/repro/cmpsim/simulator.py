@@ -19,12 +19,15 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from .. import units
 from ..config import CMPConfig
 from ..rng import DEFAULT_SEED, SeedSequenceFactory
 from ..workloads.benchmark import BenchmarkInstance
 from ..workloads.mixes import Mix, mix_for_config
 from .chip import Chip, IntervalResult
 from .telemetry import Telemetry, WindowStats
+
+__all__ = ["PowerScheme", "Simulation", "SimulationResult"]
 
 
 @runtime_checkable
@@ -221,7 +224,7 @@ class Simulation:
             previous_freq = self.chip.island_frequency.copy()
             self.scheme.on_pic(self)
             transitioned = (
-                np.abs(self.chip.island_frequency - previous_freq) > 1e-9
+                np.abs(self.chip.island_frequency - previous_freq) > units.EPS
             )
 
             result = self.chip.compute_interval(

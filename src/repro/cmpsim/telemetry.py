@@ -15,6 +15,8 @@ import numpy as np
 
 from .chip import IntervalResult
 
+__all__ = ["Telemetry", "WindowStats"]
+
 
 @dataclass(frozen=True)
 class WindowStats:

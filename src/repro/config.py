@@ -18,6 +18,17 @@ from typing import Sequence, Tuple
 
 from . import units
 
+__all__ = [
+    "CMPConfig",
+    "ControlConfig",
+    "CoreConfig",
+    "DEFAULT_CONFIG",
+    "DVFSConfig",
+    "MemoryConfig",
+    "PENTIUM_M_VF_TABLE",
+    "ThermalConfig",
+]
+
 #: Pentium-M-style ladder: 8 (frequency GHz, voltage V) operating points.
 #: The paper cites the Pentium-M datasheet for a 600 MHz – 2.0 GHz range;
 #: the voltages follow the part's roughly affine V(f) relation between its
@@ -157,7 +168,7 @@ class ControlConfig:
         """Number of PIC invocations between successive GPM invocations."""
         ratio = self.gpm_interval_s / self.pic_interval_s
         count = int(round(ratio))
-        if abs(ratio - count) > 1e-9:
+        if not units.approx_eq(ratio, count):
             raise ValueError(
                 "gpm_interval_s must be an integer multiple of pic_interval_s "
                 f"(got ratio {ratio})"

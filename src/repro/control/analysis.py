@@ -20,7 +20,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import units
 from .lti import DiscreteTransferFunction
+
+__all__ = [
+    "ResponseMetrics",
+    "response_metrics",
+    "step_response",
+    "worst_case_metrics",
+]
 
 
 @dataclass(frozen=True)
@@ -79,7 +87,9 @@ def response_metrics(
     max_overshoot = float(max(rel.max(), 0.0))
     max_undershoot = float(max((-rel).max(), 0.0))
 
-    inside = np.abs(rel) <= tolerance
+    # EPS of slack so a sample sitting exactly on the band edge counts as
+    # inside despite float rounding ((1.0 + 0.01) - 1.0 > 0.01).
+    inside = np.abs(rel) <= tolerance + units.EPS
     settling: int | None = None
     # Find the first index from which the series never leaves the band.
     outside_indices = np.flatnonzero(~inside)

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["GainFit", "fit_system_gain", "predict_power", "prediction_error"]
+
 
 @dataclass(frozen=True)
 class GainFit:

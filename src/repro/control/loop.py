@@ -14,6 +14,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Protocol, runtime_checkable
 
+__all__ = [
+    "Actuator",
+    "Controller",
+    "FeedbackLoop",
+    "LoopRecord",
+    "Plant",
+    "Sensor",
+    "Transducer",
+]
+
 
 @runtime_checkable
 class Plant(Protocol):

@@ -13,6 +13,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+__all__ = ["DiscreteTransferFunction"]
+
 _TRIM_TOL = 1e-12
 
 

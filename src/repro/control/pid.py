@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 from .lti import DiscreteTransferFunction
 
+__all__ = ["DiscretePID", "PIDGains"]
+
 
 @dataclass(frozen=True)
 class PIDGains:

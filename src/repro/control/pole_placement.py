@@ -25,8 +25,17 @@ from typing import Sequence
 
 import numpy as np
 
+from .. import units
 from .lti import DiscreteTransferFunction
 from .pid import PIDGains
+
+__all__ = [
+    "closed_loop",
+    "design_pid",
+    "integrator_plant",
+    "pid_transfer_function",
+    "stability_gain_limit",
+]
 
 
 def integrator_plant(gain: float) -> DiscreteTransferFunction:
@@ -72,7 +81,7 @@ def design_pid(
         raise ValueError("plant gain must be non-zero")
 
     target = np.poly(poles)  # monic cubic: [1, c2, c1, c0]
-    if np.max(np.abs(target.imag)) > 1e-9:
+    if np.max(np.abs(target.imag)) > units.EPS:
         raise ValueError("desired poles must be closed under conjugation")
     c2, c1, c0 = target.real[1:]
 
@@ -107,7 +116,7 @@ def stability_gain_limit(
     plant_gain: float,
     gains: PIDGains,
     g_max: float = 10.0,
-    resolution: float = 1e-3,
+    resolution: float = units.MILLI,
 ) -> float:
     """Largest multiplier ``g`` keeping the loop stable when the true system
     gain is ``g * plant_gain`` (the paper's robustness analysis, Eq. 13).

@@ -34,11 +34,13 @@ __all__ = [
     "CPMScheme",
     "Calibration",
     "WhiteNoiseDVFSScheme",
+    "budget_from_percent",
     "calibrate",
     "chip_tracking_metrics",
     "default_calibration",
     "island_tracking_metrics",
     "performance_degradation",
     "performance_degradation_series",
+    "reference_power",
     "run_cpm",
 ]

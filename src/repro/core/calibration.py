@@ -39,6 +39,14 @@ from ..rng import DEFAULT_SEED, SeedSequenceFactory
 from ..workloads.mixes import Mix, mix_for_config
 from ..workloads.parsec import PARSEC_BENCHMARKS
 
+__all__ = [
+    "Calibration",
+    "DEFAULT_HOLDOUT",
+    "WhiteNoiseDVFSScheme",
+    "calibrate",
+    "default_calibration",
+]
+
 #: Default held-out validation benchmark, as in the paper.
 DEFAULT_HOLDOUT = "bodytrack"
 

@@ -31,6 +31,8 @@ from ..rng import DEFAULT_SEED
 from ..workloads.mixes import Mix
 from .calibration import Calibration, default_calibration
 
+__all__ = ["CPMScheme", "run_cpm"]
+
 
 class CPMScheme:
     """The paper's scheme: GPM provisioning + PID power capping."""

@@ -23,6 +23,15 @@ from ..cmpsim.simulator import SimulationResult
 from ..rng import DEFAULT_SEED
 from ..workloads.mixes import Mix, mix_for_config
 
+__all__ = [
+    "budget_from_percent",
+    "chip_tracking_metrics",
+    "island_tracking_metrics",
+    "performance_degradation",
+    "performance_degradation_series",
+    "reference_power",
+]
+
 
 @functools.lru_cache(maxsize=64)
 def _reference_power_cached(

@@ -13,7 +13,7 @@ pytest-benchmark.
 
 from .common import ExperimentResult
 
-__all__ = ["ExperimentResult"]
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult"]
 
 #: Module names of every experiment, in paper order.  Used by the test
 #: suite and the ``benchmarks/`` harness to enumerate coverage.

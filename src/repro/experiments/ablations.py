@@ -35,6 +35,16 @@ from ..rng import DEFAULT_SEED
 from ..workloads.mixes import MIX1
 from .common import ExperimentResult, WARMUP_INTERVALS, horizon, reference_run
 
+__all__ = [
+    "BUDGET",
+    "run_energy_floor",
+    "run_gpm_policy",
+    "run_maxbips_prediction",
+    "run_pid_terms",
+    "run_quantization",
+    "run_transducer",
+]
+
 BUDGET = 0.8
 
 
@@ -60,12 +70,12 @@ def run_pid_terms(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentRe
     result = ExperimentResult(
         experiment="ablation-pid-terms",
         description="controller terms: tracking quality of P / PI / PID",
-    )
-    result.headers = (
-        "controller",
-        "mean |power-budget| / budget",
-        "power noise (std/budget)",
-        "mean chip power",
+        headers=(
+            "controller",
+            "mean |power-budget| / budget",
+            "power noise (std/budget)",
+            "mean chip power",
+        ),
     )
     for name, gains in variants.items():
         variant_cal = dataclasses.replace(cal, pid_gains=gains)
@@ -90,11 +100,11 @@ def run_quantization(seed: int = DEFAULT_SEED, quick: bool = False) -> Experimen
     result = ExperimentResult(
         experiment="ablation-quantization",
         description="PIC actuation: continuous vs 8-knob quantized DVFS",
-    )
-    result.headers = (
-        "actuation",
-        "mean |power-budget| / budget",
-        "perf degradation",
+        headers=(
+            "actuation",
+            "mean |power-budget| / budget",
+            "perf degradation",
+        ),
     )
     for mode in ("continuous", "quantized"):
         config = dataclasses.replace(DEFAULT_CONFIG, dvfs=DVFSConfig(mode=mode))
@@ -133,11 +143,11 @@ def run_transducer(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentR
     result = ExperimentResult(
         experiment="ablation-transducer",
         description="sensing: per-island transducer fits vs one global line",
-    )
-    result.headers = (
-        "transducer",
-        "mean |sensed-actual| (fraction of max power)",
-        "mean |power-budget| / budget",
+        headers=(
+            "transducer",
+            "mean |sensed-actual| (fraction of max power)",
+            "mean |power-budget| / budget",
+        ),
     )
     for name, calibration in (("per-island", cal), ("global", pooled_cal)):
         scheme = CPMScheme(calibration=calibration)
@@ -170,8 +180,8 @@ def run_gpm_policy(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentR
     result = ExperimentResult(
         experiment="ablation-gpm-policy",
         description="GPM tier: uniform vs literal Eq.6 vs proportional phi",
+        headers=("policy", "perf degradation", "mean chip power"),
     )
-    result.headers = ("policy", "perf degradation", "mean chip power")
     for name, policy in policies.items():
         res = run_cpm(
             config, mix=MIX1, policy=policy, budget_fraction=BUDGET,
@@ -201,12 +211,12 @@ def run_energy_floor(
     result = ExperimentResult(
         experiment="ablation-energy-floor",
         description="energy-aware policy: power saved vs performance floor",
-    )
-    result.headers = (
-        "performance floor",
-        "mean chip power",
-        "power saved vs unmanaged",
-        "perf degradation",
+        headers=(
+            "performance floor",
+            "mean chip power",
+            "power saved vs unmanaged",
+            "perf degradation",
+        ),
     )
     unmanaged = reference.mean_chip_power_frac
     floors = (0.99, 0.95) if quick else (0.99, 0.97, 0.95, 0.90, 0.85)
@@ -239,9 +249,9 @@ def run_maxbips_prediction(
     result = ExperimentResult(
         experiment="ablation-maxbips-prediction",
         description="MaxBIPS prediction table: static vs runtime-informed",
+        headers=("prediction", "perf degradation", "mean chip power",
+                          "max chip power"),
     )
-    result.headers = ("prediction", "perf degradation", "mean chip power",
-                      "max chip power")
     for prediction in ("static", "measured"):
         res = Simulation(
             config,

@@ -22,6 +22,16 @@ from ..reporting import format_series, format_table
 from ..rng import DEFAULT_SEED
 from ..workloads.mixes import Mix, mix_for_config
 
+__all__ = [
+    "ExperimentResult",
+    "FULL_HORIZON",
+    "QUICK_HORIZON",
+    "WARMUP_INTERVALS",
+    "horizon",
+    "main",
+    "reference_run",
+]
+
 #: Default GPM horizons: full runs for the benchmark harness, quick runs
 #: for smoke tests.
 FULL_HORIZON = 25
@@ -31,9 +41,14 @@ QUICK_HORIZON = 6
 WARMUP_INTERVALS = 20
 
 
-@dataclass
+@dataclass(frozen=True)
 class ExperimentResult:
-    """Uniform output of one experiment run."""
+    """Uniform output of one experiment run.
+
+    Frozen: the identity of a result (which experiment, what headers) is
+    fixed at construction; ``add_row``/``add_series`` grow the *contents*
+    of the held containers, which freezing deliberately still allows.
+    """
 
     experiment: str
     description: str

@@ -18,6 +18,8 @@ from ..core.calibration import default_calibration
 from ..rng import DEFAULT_SEED
 from .common import ExperimentResult
 
+__all__ = ["run"]
+
 
 def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     config = DEFAULT_CONFIG
@@ -32,8 +34,8 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="controller-design",
         description="PID pole placement on the identified island model",
+        headers=("quantity", "value"),
     )
-    result.headers = ("quantity", "value")
     result.add_row("system gain a (frac max power / GHz)", cal.system_gain)
     result.add_row("K_P", gains.kp)
     result.add_row("K_I", gains.ki)

@@ -21,6 +21,8 @@ from ..core.calibration import (
 from ..rng import DEFAULT_SEED
 from .common import ExperimentResult, horizon
 
+__all__ = ["run"]
+
 
 def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     config = DEFAULT_CONFIG
@@ -38,8 +40,8 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
             f"one-step model prediction vs actual power "
             f"({cal.holdout} under white-noise DVFS, a={cal.system_gain:.4f})"
         ),
+        headers=("island", "mean |error| (one-step, relative)"),
     )
-    result.headers = ("island", "mean |error| (one-step, relative)")
     errors = []
     for island in range(config.n_islands):
         err = prediction_error(

@@ -17,6 +17,8 @@ from ..rng import DEFAULT_SEED
 from ..workloads.parsec import SHORT_NAMES
 from .common import ExperimentResult
 
+__all__ = ["run"]
+
 
 def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     cal = default_calibration(DEFAULT_CONFIG, seed=seed)
@@ -24,8 +26,8 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig06",
         description="power = k0*utilization + k1 linear fits per benchmark",
+        headers=("benchmark", "k0 (slope)", "k1", "R^2"),
     )
-    result.headers = ("benchmark", "k0 (slope)", "k1", "R^2")
     r2 = []
     for name in sorted(cal.benchmark_transducers):
         t = cal.benchmark_transducers[name]

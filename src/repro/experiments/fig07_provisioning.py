@@ -16,6 +16,8 @@ from ..rng import DEFAULT_SEED
 from ..workloads.mixes import MIX1
 from .common import ExperimentResult, horizon
 
+__all__ = ["run"]
+
 
 def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     config = DEFAULT_CONFIG
@@ -34,9 +36,9 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig07",
         description="GPM power provisioning across 4 islands, 80% budget",
+        headers=("island", "apps", "min share", "mean share", "max share"),
     )
     labels = [" + ".join(names) for names in MIX1.islands]
-    result.headers = ("island", "apps", "min share", "mean share", "max share")
     for i in range(config.n_islands):
         result.add_row(
             f"island {i + 1}",

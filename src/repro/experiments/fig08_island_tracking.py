@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import units
 from ..config import DEFAULT_CONFIG
 from ..core.cpm import run_cpm
 from ..rng import DEFAULT_SEED
 from ..workloads.mixes import MIX1
 from .common import ExperimentResult, WARMUP_INTERVALS, horizon
+
+__all__ = ["run"]
 
 
 def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
@@ -34,15 +37,15 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig08",
         description="per-island target vs actual power (8 cores, 2/island)",
-    )
-    result.headers = (
-        "island",
-        "mean |actual-target| / target",
-        "p95 |actual-target| / target",
+        headers=(
+            "island",
+            "mean |actual-target| / target",
+            "p95 |actual-target| / target",
+        ),
     )
     for i in range(config.n_islands):
         rel = np.abs(actual[skip:, i] - target[skip:, i]) / np.maximum(
-            target[skip:, i], 1e-9
+            target[skip:, i], units.EPS
         )
         result.add_row(f"island {i + 1}", float(rel.mean()), float(np.percentile(rel, 95)))
         result.add_series(f"island {i + 1} target", target[:, i])

@@ -18,6 +18,8 @@ from ..rng import DEFAULT_SEED
 from ..workloads.mixes import MIX1
 from .common import ExperimentResult, horizon
 
+__all__ = ["run"]
+
 
 def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     config = DEFAULT_CONFIG
@@ -56,8 +58,8 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig09",
         description="PIC robustness between GPM invocations (all windows x islands)",
+        headers=("metric", "median", "p90", "worst"),
     )
-    result.headers = ("metric", "median", "p90", "worst")
     result.add_row(
         "max overshoot (fraction of target)",
         float(np.median(overshoots_arr)),

@@ -16,6 +16,8 @@ from ..rng import DEFAULT_SEED
 from ..workloads.mixes import MIX1
 from .common import ExperimentResult, WARMUP_INTERVALS, horizon
 
+__all__ = ["run"]
+
 
 def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     res = run_cpm(
@@ -32,8 +34,8 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig10",
         description="chip-wide power vs the 80% budget over time",
+        headers=("metric", "value"),
     )
-    result.headers = ("metric", "value")
     result.add_row("mean chip power / budget", float(rel.mean()))
     result.add_row("max overshoot above budget", float(max(rel.max() - 1.0, 0.0)))
     result.add_row("max undershoot below budget", float(max(1.0 - rel.min(), 0.0)))

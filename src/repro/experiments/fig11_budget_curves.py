@@ -18,6 +18,8 @@ from ..rng import DEFAULT_SEED
 from ..workloads.mixes import MIX1
 from .common import ExperimentResult, WARMUP_INTERVALS, horizon
 
+__all__ = ["BUDGETS", "run"]
+
 BUDGETS = (0.95, 0.90, 0.85, 0.80, 0.75)
 
 
@@ -29,13 +31,13 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig11",
         description="actual chip power vs budget: CPM tracks, MaxBIPS undershoots",
-    )
-    result.headers = (
-        "budget",
-        "CPM mean power",
-        "CPM max power",
-        "MaxBIPS mean power",
-        "MaxBIPS max power",
+        headers=(
+            "budget",
+            "CPM mean power",
+            "CPM max power",
+            "MaxBIPS mean power",
+            "MaxBIPS max power",
+        ),
     )
     cpm_curve, maxbips_curve = [], []
     for budget in budgets:

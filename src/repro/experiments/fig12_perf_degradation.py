@@ -16,6 +16,8 @@ from ..rng import DEFAULT_SEED
 from ..workloads.mixes import MIX1
 from .common import ExperimentResult, horizon, reference_run
 
+__all__ = ["BUDGETS", "run"]
+
 BUDGETS = (1.00, 0.95, 0.90, 0.85, 0.80, 0.75)
 
 
@@ -28,8 +30,8 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig12",
         description="performance degradation vs chip power budget (Mix-1)",
+        headers=("budget", "mean chip power", "perf degradation"),
     )
-    result.headers = ("budget", "mean chip power", "perf degradation")
     degradations = []
     for budget in budgets:
         res = run_cpm(

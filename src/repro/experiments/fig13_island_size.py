@@ -19,6 +19,8 @@ from ..core.metrics import performance_degradation
 from ..rng import DEFAULT_SEED
 from .common import ExperimentResult, horizon, reference_run
 
+__all__ = ["CORES_PER_ISLAND", "run"]
+
 CORES_PER_ISLAND = (1, 2, 4)
 
 
@@ -27,8 +29,8 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig13",
         description="degradation vs cores/island (8 cores, 80% budget)",
+        headers=("cores/island", "CPM degradation", "MaxBIPS degradation"),
     )
-    result.headers = ("cores/island", "CPM degradation", "MaxBIPS degradation")
     cpm_curve, mb_curve = [], []
     for cpi in CORES_PER_ISLAND:
         config = DEFAULT_CONFIG.with_islands(8, 8 // cpi)

@@ -19,6 +19,8 @@ from ..rng import DEFAULT_SEED
 from ..workloads.mixes import MIX1
 from .common import ExperimentResult, horizon, reference_run
 
+__all__ = ["run"]
+
 
 def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     config = DEFAULT_CONFIG
@@ -32,8 +34,8 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig14",
         description="per-interval degradation over time at a 100% budget",
+        headers=("metric", "value"),
     )
-    result.headers = ("metric", "value")
     result.add_row("average degradation", float(series.mean()))
     result.add_row("maximum degradation", float(series.max()))
     result.add_row("minimum degradation", float(series.min()))

@@ -17,6 +17,8 @@ from ..core.metrics import performance_degradation
 from ..rng import DEFAULT_SEED
 from .common import ExperimentResult, horizon, reference_run
 
+__all__ = ["BUDGETS", "run"]
+
 BUDGETS = (0.90, 0.85, 0.80, 0.75)
 
 
@@ -27,8 +29,8 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig15",
         description="16/32-core scalability: CPM vs MaxBIPS across budgets",
+        headers=("cores", "budget", "CPM degradation", "MaxBIPS degradation"),
     )
-    result.headers = ("cores", "budget", "CPM degradation", "MaxBIPS degradation")
     curves: dict[str, list[float]] = {}
     for n_cores in (16, 32):
         config = DEFAULT_CONFIG.with_islands(n_cores, n_cores // 4)

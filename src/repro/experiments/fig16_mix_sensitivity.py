@@ -17,6 +17,8 @@ from ..rng import DEFAULT_SEED
 from ..workloads.mixes import MIX1, MIX2
 from .common import ExperimentResult, horizon, reference_run
 
+__all__ = ["BUDGETS", "run"]
+
 BUDGETS = (0.90, 0.85, 0.80, 0.75)
 
 
@@ -28,8 +30,8 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig16",
         description="degradation for Mix-1 (C,M islands) vs Mix-2 (homogeneous)",
+        headers=("budget", "Mix-1 degradation", "Mix-2 degradation"),
     )
-    result.headers = ("budget", "Mix-1 degradation", "Mix-2 degradation")
     curves: dict[str, list[float]] = {"Mix-1": [], "Mix-2": []}
     for budget in budgets:
         row = [budget]

@@ -21,6 +21,8 @@ from ..rng import DEFAULT_SEED
 from ..units import ms
 from .common import ExperimentResult, horizon, reference_run
 
+__all__ = ["CADENCES", "CORES_PER_ISLAND", "run"]
+
 CADENCES = (
     ("(5ms, 0.5ms)", ms(5), ms(0.5)),
     ("(5ms, 5ms)", ms(5), ms(5)),
@@ -35,14 +37,14 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result = ExperimentResult(
         experiment="fig17",
         description="degradation and tracking vs (GPM, PIC) intervals, 80% budget",
-    )
-    result.headers = (
-        "cores/island",
-        "(GPM, PIC)",
-        "degradation",
-        "mean |power-budget| / budget",
-        "time above budget +2%",
-        "worst budget overshoot",
+        headers=(
+            "cores/island",
+            "(GPM, PIC)",
+            "degradation",
+            "mean |power-budget| / budget",
+            "time above budget +2%",
+            "worst budget overshoot",
+        ),
     )
     for cpi in sizes:
         base = DEFAULT_CONFIG.with_islands(8, 8 // cpi)

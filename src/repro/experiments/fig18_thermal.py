@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import units
 from ..config import DEFAULT_CONFIG
 from ..core.cpm import run_cpm
 from ..core.metrics import performance_degradation
@@ -34,6 +35,14 @@ from ..rng import DEFAULT_SEED
 from ..thermal.hotspot import ThermalConstraints, ViolationTracker
 from ..workloads.mixes import thermal_mix
 from .common import ExperimentResult, horizon, reference_run
+
+__all__ = [
+    "BUDGET",
+    "CONSTRAINED_PAIRS",
+    "PAIR_SHARE_CAP",
+    "SINGLE_SHARE_CAP",
+    "run",
+]
 
 #: Cores are constrained in side-by-side pairs (1,2), (3,4), (5,6), (7,8)
 #: as in the paper's Figure 18(a) layout.
@@ -57,7 +66,7 @@ def _violation_fractions(result, constraints: ThermalConstraints) -> np.ndarray:
     ticks = result.telemetry.gpm_tick_indices()
     setpoints = result.telemetry["island_setpoint_frac"][ticks]
     distributable = result.budget_fraction - result.config.uncore_fraction
-    shares = setpoints / max(distributable, 1e-9)
+    shares = setpoints / max(distributable, units.EPS)
     for row in shares:
         tracker.observe(row)
     return tracker.island_violation_fractions()
@@ -104,8 +113,8 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
         experiment="fig18",
         description="thermal-aware vs performance-aware provisioning "
         "(8 single-core islands, mesa/bzip2/gcc/sixtrack x2)",
+        headers=("metric", "performance-aware", "thermal-aware"),
     )
-    result.headers = ("metric", "performance-aware", "thermal-aware")
     result.add_row(
         "perf degradation vs no-management",
         performance_degradation(perf, reference),

@@ -17,6 +17,7 @@ import dataclasses
 
 import numpy as np
 
+from .. import units
 from ..config import DEFAULT_CONFIG
 from ..core.cpm import run_cpm
 from ..gpm.performance_aware import PerformanceAwarePolicy
@@ -25,6 +26,8 @@ from ..rng import DEFAULT_SEED
 from ..variation.leakage_variation import PAPER_ISLAND_MULTIPLIERS
 from ..workloads.mixes import MIX1
 from .common import ExperimentResult, horizon
+
+__all__ = ["BUDGET", "run"]
 
 #: The budget must bind (sit below the chip's natural draw) for the
 #: greedy search's provisioning levels to have any effect on the islands.
@@ -38,7 +41,7 @@ def _island_stats(result) -> tuple[np.ndarray, np.ndarray]:
     energy = np.sum([w.island_energy_j for w in windows], axis=0)
     duration = sum(w.duration_s for w in windows)
     power_w = energy / duration
-    return bips, power_w / np.maximum(bips, 1e-9)
+    return bips, power_w / np.maximum(bips, units.EPS)
 
 
 def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
@@ -73,12 +76,12 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
         experiment="fig19",
         description="variation-aware vs performance-aware per island "
         f"(leakage multipliers {PAPER_ISLAND_MULTIPLIERS})",
-    )
-    result.headers = (
-        "island",
-        "leakage x",
-        "throughput degradation",
-        "power/throughput improvement",
+        headers=(
+            "island",
+            "leakage x",
+            "throughput degradation",
+            "power/throughput improvement",
+        ),
     )
     for i in range(config.n_islands):
         result.add_row(

@@ -7,6 +7,7 @@ simulator runs.
 
 from __future__ import annotations
 
+from .. import units
 from ..config import DEFAULT_CONFIG
 from ..rng import DEFAULT_SEED
 from ..units import cycles_at
@@ -14,14 +15,16 @@ from ..workloads.mixes import MIX1, MIX2, MIX3
 from ..workloads.parsec import PARSEC_BENCHMARKS, SHORT_NAMES
 from .common import ExperimentResult
 
+__all__ = ["run"]
+
 
 def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     cfg = DEFAULT_CONFIG
     result = ExperimentResult(
         experiment="tables",
         description="Tables I-III: platform configuration, benchmarks, mixes",
+        headers=("table", "entry", "value"),
     )
-    result.headers = ("table", "entry", "value")
 
     # Table I — core / memory / CMP configuration.
     core = cfg.core
@@ -50,7 +53,7 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result.add_row(
         "I",
         "memory latency",
-        f"{mem.memory_latency_s * 1e9:.0f} ns "
+        f"{mem.memory_latency_s * units.NS_PER_S:.0f} ns "
         f"(~{cycles_at(mem.memory_latency_s, nominal_f):.0f} cycles @ "
         f"{nominal_f} GHz)",
     )

@@ -25,6 +25,17 @@ import numpy as np
 from .power.transducer import LinearTransducer
 from .rng import SeedSequenceFactory
 
+__all__ = [
+    "BiasedTransducer",
+    "Fault",
+    "FaultySchemeWrapper",
+    "GainError",
+    "LaggedActuator",
+    "NoisySensor",
+    "StuckSensor",
+    "inject",
+]
+
 
 class Fault:
     """Base class: a mutation applied to a bound scheme's controllers."""

@@ -23,8 +23,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import units
 from ..cmpsim.core import frequency_speedup
 from .policy import GPMContext
+
+__all__ = ["EnergyAwarePolicy"]
 
 
 class EnergyAwarePolicy:
@@ -74,15 +77,15 @@ class EnergyAwarePolicy:
         far below full utilization at their frequency are stall-dominated.
         """
         w = context.windows[-1]
-        demand = np.maximum(w.island_power_frac, 1e-6)
-        bips = np.maximum(w.island_bips, 1e-9)
+        demand = np.maximum(w.island_power_frac, units.MICRO)
+        bips = np.maximum(w.island_bips, units.EPS)
         # De-throttle to the island's *unthrottled* demand and throughput:
         # the last window ran at context.island_frequency, possibly well
         # below f_max because of this very policy — rebasing on throttled
         # measurements would ratchet the baseline down every interval.
         if context.island_frequency is not None and np.isfinite(context.f_max):
             f_ratio = np.clip(
-                context.f_max / np.maximum(context.island_frequency, 1e-3),
+                context.f_max / np.maximum(context.island_frequency, units.MILLI),
                 1.0,
                 context.f_max / 0.3,
             )
@@ -92,7 +95,7 @@ class EnergyAwarePolicy:
             # model, so the optimism cancels where it matters.
         # Busy proxy: utilization relative to its ceiling.  Map to the
         # CPI-stack elasticity cpi_on / cpi_total ~ busy.
-        busy = np.clip(w.island_utilization / max(w.island_utilization.max(), 1e-9),
+        busy = np.clip(w.island_utilization / max(w.island_utilization.max(), units.EPS),
                        0.05, 1.0)
         return demand, bips, busy
 
@@ -105,18 +108,18 @@ class EnergyAwarePolicy:
         # Start from each island's demand (nothing to gain above it),
         # bounded by the budget.
         full = np.minimum(demand * 1.02, context.island_max)
-        scale_cap = context.budget / max(full.sum(), 1e-9)
+        scale_cap = context.budget / max(full.sum(), units.EPS)
         provision = full * min(1.0, scale_cap)
 
         # Predicted BIPS at a provisioning level: power maps to an
         # effective frequency ratio (P ~ V^2 f ~ f^2 locally), and BIPS
         # follows the counter-derived speedup model.
         def predicted_bips(p: np.ndarray) -> float:
-            ratio = np.clip(p / np.maximum(full, 1e-9), 0.05, 1.0)
+            ratio = np.clip(p / np.maximum(full, units.EPS), 0.05, 1.0)
             f_ratio = np.sqrt(ratio)  # local P ~ f^2
             total = 0.0
             for i in range(n):
-                mem_coeff = (1.0 - busy[i]) / max(busy[i], 1e-3)
+                mem_coeff = (1.0 - busy[i]) / max(busy[i], units.MILLI)
                 total += bips[i] * frequency_speedup(
                     1.0, float(f_ratio[i]), 1.0, mem_coeff
                 )

@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import units
 from .policy import GPMContext, ProvisioningPolicy, clamp_and_redistribute
+
+__all__ = ["GlobalPowerManager"]
 
 
 class GlobalPowerManager:
@@ -46,7 +49,7 @@ class GlobalPowerManager:
         if context.island_frequency is None or not context.windows:
             return caps
         window = context.windows[-1]
-        pinned = context.island_frequency >= context.f_max - 1e-9
+        pinned = context.island_frequency >= context.f_max - units.EPS
         unused = window.island_power_frac < window.island_setpoints - 1e-4
         limited = pinned & unused
         caps[limited] = np.minimum(
@@ -71,7 +74,7 @@ class GlobalPowerManager:
         # per-island clamp cannot express; redistribution here would undo
         # them, so their output is only validated against the budget.
         if getattr(self.policy, "self_constrained", False):
-            if float(raw.sum()) > context.budget + 1e-9:
+            if float(raw.sum()) > context.budget + units.EPS:
                 raise ValueError(
                     f"self-constrained policy {self.policy.name!r} exceeded "
                     f"the budget: {raw.sum():.4f} > {context.budget:.4f}"

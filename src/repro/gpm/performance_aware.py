@@ -35,7 +35,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import units
 from .policy import GPMContext
+
+__all__ = ["PerformanceAwarePolicy"]
 
 
 class PerformanceAwarePolicy:
@@ -84,17 +87,17 @@ class PerformanceAwarePolicy:
         w_now = context.windows[-1]
         w_prev = context.windows[-2]
 
-        power_now = np.maximum(w_now.island_power_frac, 1e-9)
-        power_prev = np.maximum(w_prev.island_power_frac, 1e-9)
-        bips_prev = np.maximum(w_prev.island_bips, 1e-9)
-        bips_now = np.maximum(w_now.island_bips, 1e-9)
+        power_now = np.maximum(w_now.island_power_frac, units.EPS)
+        power_prev = np.maximum(w_prev.island_power_frac, units.EPS)
+        bips_prev = np.maximum(w_prev.island_bips, units.EPS)
+        bips_now = np.maximum(w_now.island_bips, units.EPS)
 
         # Eq. 4 with the power and BIPS ratios taken over the *same*
         # window pair: the expected throughput of the latest window is the
         # previous window's throughput scaled by the cube root of the
         # power ratio across those two windows.
         expected = bips_prev * (power_now / power_prev) ** (1.0 / 3.0)  # Eq. 4
-        phi = bips_now / np.maximum(expected, 1e-9)  # Eq. 5
+        phi = bips_now / np.maximum(expected, units.EPS)  # Eq. 5
         return np.clip(phi, *self.phi_bounds)
 
     def provision(self, context: GPMContext) -> np.ndarray:

@@ -17,6 +17,13 @@ import numpy as np
 
 from ..cmpsim.telemetry import WindowStats
 
+__all__ = [
+    "GPMContext",
+    "ProvisioningPolicy",
+    "UniformPolicy",
+    "clamp_and_redistribute",
+]
+
 
 @dataclass(frozen=True)
 class GPMContext:

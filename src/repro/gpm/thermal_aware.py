@@ -31,6 +31,8 @@ from ..thermal.hotspot import ThermalConstraints
 from .performance_aware import PerformanceAwarePolicy
 from .policy import GPMContext, ProvisioningPolicy, clamp_and_redistribute
 
+__all__ = ["ThermalAwarePolicy"]
+
 
 class ThermalAwarePolicy:
     """Spatial-constraint wrapper around any base provisioning policy."""

@@ -21,7 +21,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import units
 from .policy import GPMContext, clamp_and_redistribute
+
+__all__ = ["VariationAwarePolicy"]
 
 
 class VariationAwarePolicy:
@@ -75,7 +78,7 @@ class VariationAwarePolicy:
     def _epi(window) -> np.ndarray:
         """Energy per instruction over a window, nJ/instruction."""
         instructions = np.maximum(window.island_instructions, 1.0)
-        return window.island_energy_j / instructions * 1e9
+        return window.island_energy_j / instructions * units.NJ_PER_J
 
     def provision(self, context: GPMContext) -> np.ndarray:
         n = context.n_islands

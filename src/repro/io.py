@@ -24,6 +24,8 @@ import numpy as np
 
 from .cmpsim.simulator import SimulationResult
 
+__all__ = ["result_to_json", "save_run", "telemetry_to_csv", "windows_to_csv"]
+
 
 def _flatten_columns(arrays: Mapping[str, np.ndarray]) -> tuple[list[str], np.ndarray]:
     """Expand vector series into suffixed scalar columns."""

@@ -1,0 +1,37 @@
+"""repro.lintkit — AST-based invariant checker for this codebase.
+
+The reproduction's fidelity rests on conventions that documentation alone
+cannot defend: one internal unit system (``repro.units``), role-derived
+deterministic RNG streams (``repro.rng``), frozen configuration values,
+saturated controllers, and declared public APIs.  lintkit turns each
+convention into a rule that runs over the source tree with nothing but
+the standard library's :mod:`ast`::
+
+    python -m repro.lintkit src/                 # lint, exit 1 on findings
+    python -m repro.lintkit src/ --format json   # machine-readable output
+    python -m repro.lintkit --list-rules         # the rule catalogue
+
+Findings can be silenced three ways, in order of preference: fix the
+code, suppress one site with an inline ``# lint: ignore[RULE-ID]``
+comment (justify it next to the comment), or grandfather existing debt in
+the committed ``lint-baseline.json`` via ``--update-baseline``.  See
+``docs/INVARIANTS.md`` for the catalogue of rule ids and rationale.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .engine import LintReport, lint_paths, lint_source
+from .findings import Finding
+from .rules import LintRule, ModuleInfo, all_rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "ModuleInfo",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+]

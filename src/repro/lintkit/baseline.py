@@ -1,0 +1,90 @@
+"""The committed baseline: grandfathered findings that do not fail the build.
+
+The baseline is a JSON file mapping each finding's movement-tolerant key
+(``path::rule::source-line``, see :class:`~repro.lintkit.findings.Finding`)
+to the number of identical findings that are tolerated.  New code can
+therefore never add a violation silently: a new finding either has a new
+key, or pushes an existing key's count above its tolerated number, and
+either way the lint run fails.
+
+``python -m repro.lintkit --update-baseline`` regenerates the file from
+the current findings; reviewers see grandfathered debt explicitly in the
+diff.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from .findings import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """Grandfathered finding counts, loaded from / saved to JSON."""
+
+    def __init__(self, entries: dict[str, int] | None = None) -> None:
+        self.entries: dict[str, int] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        p = Path(path)
+        if not p.exists():
+            return cls()
+        data = json.loads(p.read_text(encoding="utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError(f"baseline {p} must contain a JSON object")
+        raw = data.get("findings", {})
+        entries: dict[str, int] = {}
+        for key, count in raw.items():
+            if not isinstance(count, int) or count < 1:
+                raise ValueError(f"baseline count for {key!r} must be a positive int")
+            entries[key] = count
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Baseline that tolerates exactly the given findings."""
+        return cls(dict(Counter(f.baseline_key for f in findings)))
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline as deterministic (sorted-key) JSON."""
+        payload = {
+            "version": _VERSION,
+            "findings": dict(sorted(self.entries.items())),
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+        )
+
+    def partition(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into (new, grandfathered).
+
+        Each baseline entry absorbs at most its tolerated count; findings
+        beyond that count — and findings with unknown keys — are new.
+        """
+        remaining = Counter(self.entries)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for finding in sorted(findings):
+            key = finding.baseline_key
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                old.append(finding)
+            else:
+                new.append(finding)
+        return new, old
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Baseline({len(self)} tolerated findings)"

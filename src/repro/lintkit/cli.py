@@ -1,0 +1,108 @@
+"""Command-line interface: ``python -m repro.lintkit src/``.
+
+Exit codes: 0 — clean (no findings beyond the baseline); 1 — new
+findings; 2 — usage error (argparse) or unreadable path/baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .baseline import Baseline
+from .engine import lint_paths
+from .rules import all_rules
+
+__all__ = ["DEFAULT_BASELINE", "build_parser", "main"]
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lintkit",
+        description=(
+            "AST-based invariant checker for the repro codebase: "
+            "determinism, unit discipline, config immutability, control "
+            "safety and API hygiene."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file and report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to tolerate all current findings, then exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        lines.append(f"        {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    try:
+        baseline = (
+            Baseline() if args.no_baseline else Baseline.load(args.baseline)
+        )
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: invalid baseline {args.baseline}: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        report = lint_paths(args.paths, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        Baseline.from_findings(list(report.raw_findings)).save(args.baseline)
+        print(
+            f"baseline {args.baseline} updated with "
+            f"{len(report.raw_findings)} finding(s)"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1

@@ -1,0 +1,182 @@
+"""The lint engine: files -> parsed modules -> rules -> filtered report.
+
+The pipeline per file is: parse (a syntax error becomes an ``E000``
+finding rather than a crash), run every applicable rule, drop findings
+suppressed by an inline ``# lint: ignore[RULE]`` comment, then split the
+remainder against the committed baseline.  Only *new* findings fail the
+build.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .baseline import Baseline
+from .findings import Finding
+from .rules import LintRule, ModuleInfo, all_rules
+from .suppress import is_suppressed, suppressions_for
+
+__all__ = [
+    "LintReport",
+    "PARSE_ERROR_ID",
+    "display_path",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "load_module",
+]
+
+#: Pseudo-rule id for files the parser rejects.
+PARSE_ERROR_ID = "E000"
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: tuple[Finding, ...]
+    baselined: tuple[Finding, ...] = ()
+    suppressed: int = 0
+    files_checked: int = 0
+    #: Every pre-baseline finding, for --update-baseline.
+    raw_findings: tuple[Finding, ...] = field(default=(), repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s)"
+            f" ({self.suppressed} suppressed inline,"
+            f" {len(self.baselined)} baselined)"
+        )
+        return "\n".join(lines + [summary])
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "findings": [f.as_dict() for f in self.findings],
+            "count": len(self.findings),
+            "suppressed": self.suppressed,
+            "baselined": len(self.baselined),
+            "files_checked": self.files_checked,
+            "ok": self.ok,
+        }
+
+
+def display_path(path: Path) -> str:
+    """POSIX-style path, relative to the working directory when possible."""
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+        return rel.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Every ``*.py`` file under ``paths`` (files accepted verbatim)."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.append(path)
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if any(part in _SKIP_DIRS for part in candidate.parts):
+                continue
+            files.append(candidate)
+    return files
+
+
+def load_module(path: Path) -> ModuleInfo:
+    """Parse ``path``; raises SyntaxError for the caller to report."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return ModuleInfo(
+        path=display_path(path),
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+
+
+def _check_module(
+    module: ModuleInfo, rules: Iterable[LintRule]
+) -> tuple[list[Finding], int]:
+    """(active findings, inline-suppressed count) for one module."""
+    suppressions = suppressions_for(module.source)
+    active: list[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(module):
+            continue
+        for finding in rule.check(module):
+            if is_suppressed(suppressions, finding.line, finding.rule_id):
+                suppressed += 1
+            else:
+                active.append(finding)
+    return active, suppressed
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Iterable[LintRule] | None = None,
+) -> list[Finding]:
+    """Lint a source string (the test-suite entry point).
+
+    Inline suppressions are honoured; no baseline is applied.
+    """
+    tree = ast.parse(source, filename=path)
+    module = ModuleInfo(
+        path=path, source=source, tree=tree, lines=tuple(source.splitlines())
+    )
+    findings, _ = _check_module(module, list(rules) if rules else all_rules())
+    return sorted(findings)
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    rules: Iterable[LintRule] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` and return the report."""
+    rule_list = list(rules) if rules else all_rules()
+    raw: list[Finding] = []
+    suppressed_total = 0
+    files = iter_python_files(paths)
+    for file_path in files:
+        try:
+            module = load_module(file_path)
+        except SyntaxError as exc:
+            raw.append(
+                Finding(
+                    path=display_path(file_path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"syntax error: {exc.msg}",
+                    source_line=(exc.text or "").rstrip("\n"),
+                )
+            )
+            continue
+        findings, suppressed = _check_module(module, rule_list)
+        raw.extend(findings)
+        suppressed_total += suppressed
+    raw.sort()
+    new, old = (baseline or Baseline()).partition(raw)
+    return LintReport(
+        findings=tuple(new),
+        baselined=tuple(old),
+        suppressed=suppressed_total,
+        files_checked=len(files),
+        raw_findings=tuple(raw),
+    )

@@ -1,0 +1,61 @@
+"""The unit of lintkit output: one finding at one source location.
+
+A finding is a value: rules yield them, the engine filters them against
+inline suppressions and the committed baseline, and the CLI renders the
+survivors.  The *baseline key* deliberately excludes the line number so a
+grandfathered finding does not churn the baseline file every time code
+above it moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    Attributes
+    ----------
+    path:
+        Display path of the offending file (POSIX separators, relative to
+        the invocation directory when possible).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule_id:
+        Identifier of the rule that fired, e.g. ``UNIT001``.
+    message:
+        Human-readable explanation, including the suggested fix.
+    source_line:
+        The physical source line the finding points at (used for display
+        and for the movement-tolerant baseline key).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    source_line: str = field(default="", compare=False)
+
+    @property
+    def baseline_key(self) -> str:
+        """Stable identity used by the baseline file (no line number)."""
+        return f"{self.path}::{self.rule_id}::{self.source_line.strip()}"
+
+    def render(self) -> str:
+        """One-line ``path:line:col: RULE message`` rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-ready representation (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

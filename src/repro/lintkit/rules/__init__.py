@@ -1,0 +1,48 @@
+"""Rule registry: every invariant lintkit enforces, in catalogue order.
+
+Rule ids are grouped by family — DET (determinism), UNIT (unit
+discipline), CFG (config discipline), CTL (control safety), API (API
+hygiene).  See ``docs/INVARIANTS.md`` for the full catalogue with
+rationale and suppression guidance.
+"""
+
+from __future__ import annotations
+
+from .api_rules import DeclaredAllRule, StaleAllRule
+from .base import LintRule, ModuleInfo
+from .config_rules import FrozenConfigRule, MutableDefaultRule
+from .control_rules import SilentExceptRule, UnboundedPIDRule
+from .determinism import RandomModuleImportRule, RngConstructionRule, WallClockRule
+from .units_rules import MagicUnitLiteralRule
+
+__all__ = [
+    "DeclaredAllRule",
+    "FrozenConfigRule",
+    "LintRule",
+    "MagicUnitLiteralRule",
+    "ModuleInfo",
+    "MutableDefaultRule",
+    "RandomModuleImportRule",
+    "RngConstructionRule",
+    "SilentExceptRule",
+    "StaleAllRule",
+    "UnboundedPIDRule",
+    "WallClockRule",
+    "all_rules",
+]
+
+
+def all_rules() -> list[LintRule]:
+    """Fresh instances of every registered rule, in catalogue order."""
+    return [
+        RngConstructionRule(),
+        RandomModuleImportRule(),
+        WallClockRule(),
+        MagicUnitLiteralRule(),
+        FrozenConfigRule(),
+        MutableDefaultRule(),
+        UnboundedPIDRule(),
+        SilentExceptRule(),
+        DeclaredAllRule(),
+        StaleAllRule(),
+    ]

@@ -1,0 +1,186 @@
+"""API-hygiene rules: every public module declares its surface.
+
+``__all__`` is the contract between a module and its users: star-imports,
+``help()``, doc generators and mypy's re-export checking all read it.  A
+missing or stale ``__all__`` means the public surface is whatever happens
+to be importable — which is how internals leak and refactors break
+downstream code undetected.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..findings import Finding
+from .base import LintRule, ModuleInfo
+
+__all__ = ["DeclaredAllRule", "StaleAllRule", "module_exports"]
+
+_EXEMPT_BASENAMES = {"__main__.py", "conftest.py", "setup.py"}
+
+
+def _in_scope(module: ModuleInfo) -> bool:
+    """Private modules (``_helpers.py``) are exempt; ``__init__.py`` is the
+    package's public surface and is very much in scope."""
+    name = module.basename
+    if name in _EXEMPT_BASENAMES:
+        return False
+    return module.is_package_init or not name.startswith("_")
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _assigned_names(stmt: ast.stmt) -> list[str]:
+    names: list[str] = []
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        targets = [stmt.target]
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(
+                el.id for el in target.elts if isinstance(el, ast.Name)
+            )
+    return names
+
+
+def module_exports(module: ModuleInfo) -> tuple[set[str], set[str]]:
+    """(all bound top-level names, names that *should* be exported).
+
+    Definitions and assignments are exports everywhere.  Imported names
+    are exports only in a package ``__init__.py`` (where ``from .mod
+    import X`` is a deliberate re-export); in a leaf module an import is a
+    dependency, not API.
+    """
+    bound: set[str] = set()
+    public: set[str] = set()
+
+    def visit(stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(stmt.name)
+                if _is_public(stmt.name):
+                    public.add(stmt.name)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                for name in _assigned_names(stmt):
+                    bound.add(name)
+                    if _is_public(name) and not (
+                        name.startswith("__") and name.endswith("__")
+                    ):
+                        public.add(name)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                if stmt.module == "__future__":
+                    continue
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    name = alias.asname or alias.name
+                    bound.add(name)
+                    if module.is_package_init and _is_public(name):
+                        public.add(name)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                visit(stmt.body)
+                visit(stmt.orelse)
+                for handler in getattr(stmt, "handlers", []):
+                    visit(handler.body)
+                visit(getattr(stmt, "finalbody", []))
+
+    visit(module.tree.body)
+    return bound, public
+
+
+def _find_all(module: ModuleInfo) -> tuple[ast.stmt | None, list[str] | None]:
+    """(the ``__all__`` statement, its names) — names None if not literal."""
+    for stmt in module.tree.body:
+        if "__all__" not in _assigned_names(stmt):
+            continue
+        value = getattr(stmt, "value", None)
+        if isinstance(value, (ast.List, ast.Tuple)) and all(
+            isinstance(el, ast.Constant) and isinstance(el.value, str)
+            for el in value.elts
+        ):
+            return stmt, [el.value for el in value.elts]
+        return stmt, None
+    return None, None
+
+
+class DeclaredAllRule(LintRule):
+    """API001 — public modules must declare ``__all__``."""
+
+    rule_id = "API001"
+    title = "public module without __all__"
+    rationale = (
+        "Without __all__ the public surface is accidental: star-imports "
+        "and doc tools pick up whatever is importable, and refactors "
+        "change the API silently."
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return _in_scope(module)
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        stmt, _ = _find_all(module)
+        if stmt is not None:
+            return
+        _, public = module_exports(module)
+        if not public:
+            return
+        suggestion = ", ".join(f'"{name}"' for name in sorted(public))
+        yield self.finding(
+            module,
+            module.tree,
+            f"module defines public names but no __all__; suggest "
+            f"__all__ = [{suggestion}]",
+        )
+
+
+class StaleAllRule(LintRule):
+    """API002 — ``__all__`` must match the module's actual exports."""
+
+    rule_id = "API002"
+    title = "__all__ out of sync with exports"
+    rationale = (
+        "A stale __all__ is worse than none: it actively misdescribes the "
+        "API to star-imports, doc tools and mypy's re-export checks."
+    )
+
+    def applies_to(self, module: ModuleInfo) -> bool:
+        return _in_scope(module)
+
+    def check(self, module: ModuleInfo) -> Iterable[Finding]:
+        stmt, names = _find_all(module)
+        if stmt is None:
+            return
+        if names is None:
+            yield self.finding(
+                module,
+                stmt,
+                "__all__ is not a literal list/tuple of strings, so it "
+                "cannot be statically checked",
+            )
+            return
+        bound, public = module_exports(module)
+        unknown = sorted(set(names) - bound)
+        missing = sorted(public - set(names))
+        if unknown:
+            yield self.finding(
+                module,
+                stmt,
+                "__all__ names not defined in the module: "
+                + ", ".join(unknown),
+            )
+        if missing:
+            yield self.finding(
+                module,
+                stmt,
+                "public names missing from __all__: " + ", ".join(missing),
+            )

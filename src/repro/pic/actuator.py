@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from ..cmpsim.dvfs import DVFSTable
 
+__all__ = ["DVFSActuator"]
+
 
 class DVFSActuator:
     """Stateful frequency knob for one island."""

@@ -19,6 +19,8 @@ from ..control.pid import DiscretePID, PIDGains
 from ..power.transducer import LinearTransducer
 from .actuator import DVFSActuator
 
+__all__ = ["PICInvocation", "PerIslandController"]
+
 
 @dataclass(frozen=True)
 class PICInvocation:

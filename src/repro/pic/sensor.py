@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+__all__ = ["CallbackSensor"]
+
 
 class CallbackSensor:
     """A :class:`~repro.control.loop.Sensor` reading from a callable.

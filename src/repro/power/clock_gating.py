@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["LinearClockGating"]
+
 
 @dataclass(frozen=True)
 class LinearClockGating:

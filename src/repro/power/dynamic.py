@@ -31,7 +31,10 @@ from typing import Mapping, Tuple
 
 import numpy as np
 
+from .. import units
 from .clock_gating import LinearClockGating
+
+__all__ = ["DynamicPowerModel", "STRUCTURES", "StructureSpec"]
 
 
 @dataclass(frozen=True)
@@ -65,7 +68,7 @@ STRUCTURES: Tuple[StructureSpec, ...] = (
 )
 
 _SHARE_SUM = sum(s.capacitance_share for s in STRUCTURES)
-if abs(_SHARE_SUM - 1.0) > 1e-9:  # pragma: no cover - module-load invariant
+if not units.approx_eq(_SHARE_SUM, 1.0):  # pragma: no cover - module-load invariant
     raise AssertionError(f"structure shares must sum to 1, got {_SHARE_SUM}")
 
 

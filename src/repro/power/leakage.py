@@ -26,6 +26,12 @@ from __future__ import annotations
 
 import numpy as np
 
+__all__ = [
+    "DEFAULT_THERMAL_BETA",
+    "DEFAULT_VOLTAGE_EXPONENT",
+    "LeakagePowerModel",
+]
+
 #: Leakage doubles every ~25 °C: exp(beta * 25) = 2.
 DEFAULT_THERMAL_BETA = float(np.log(2.0) / 25.0)
 

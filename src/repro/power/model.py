@@ -18,6 +18,8 @@ from .clock_gating import LinearClockGating
 from .dynamic import DynamicPowerModel
 from .leakage import LeakagePowerModel
 
+__all__ = ["CorePowerModel", "PowerBreakdown"]
+
 
 @dataclass(frozen=True)
 class PowerBreakdown:

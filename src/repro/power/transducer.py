@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+__all__ = ["LinearTransducer", "fit_transducer"]
+
 
 @dataclass(frozen=True)
 class LinearTransducer:

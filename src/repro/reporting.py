@@ -12,6 +12,14 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+__all__ = [
+    "as_percent",
+    "format_series",
+    "format_table",
+    "format_value",
+    "sparkline",
+]
+
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
 
 

@@ -20,6 +20,8 @@ import zlib
 
 import numpy as np
 
+__all__ = ["DEFAULT_SEED", "SeedSequenceFactory", "derive", "role_seed"]
+
 #: Root seed used by the experiment harness unless overridden.
 DEFAULT_SEED = 20100610  # SC 2010 submission-era date; arbitrary but fixed.
 

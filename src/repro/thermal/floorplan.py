@@ -15,6 +15,8 @@ from typing import FrozenSet, Tuple
 
 import numpy as np
 
+__all__ = ["Floorplan", "grid_floorplan"]
+
 
 @dataclass(frozen=True)
 class Floorplan:

@@ -19,6 +19,8 @@ from typing import Dict, FrozenSet, Tuple
 
 import numpy as np
 
+__all__ = ["HotspotDetector", "ThermalConstraints", "ViolationTracker"]
+
 
 class HotspotDetector:
     """Counts intervals each core spends above the junction threshold."""

@@ -18,6 +18,8 @@ import numpy as np
 from ..config import ThermalConfig
 from .floorplan import Floorplan
 
+__all__ = ["RCThermalModel"]
+
 
 class RCThermalModel:
     """Vectorized per-core temperature integrator."""

@@ -26,11 +26,55 @@ fraction of the maximum chip power (e.g. the default chip-wide budget is
 
 from __future__ import annotations
 
+import numpy as np
+
+__all__ = [
+    "EPS",
+    "GHZ_TO_HZ",
+    "MICRO",
+    "MICROSECONDS",
+    "MILLI",
+    "MILLISECONDS",
+    "NANOSECONDS",
+    "NJ_PER_J",
+    "NS_PER_S",
+    "approx_eq",
+    "bips",
+    "cycles_at",
+    "ms",
+    "ns",
+    "seconds_for_cycles",
+    "us",
+]
+
 MILLISECONDS = 1e-3
 MICROSECONDS = 1e-6
 NANOSECONDS = 1e-9
 
 GHZ_TO_HZ = 1e9
+
+#: Nanoseconds in one second (seconds -> nanoseconds multiplier).
+NS_PER_S = 1e9
+
+#: Nanojoules in one joule (joules -> nanojoules multiplier); energy-per-
+#: instruction figures are conventionally quoted in nJ/instruction.
+NJ_PER_J = 1e9
+
+#: Dimensionless SI prefix multipliers, for floors/resolutions that are
+#: "a thousandth / a millionth of the quantity's natural scale".
+MILLI = 1e-3
+MICRO = 1e-6
+
+#: Default absolute tolerance for "are these two internal-unit quantities
+#: the same" comparisons (and for guarding divisions by almost-zero).
+#: One part in 10^9 is far below every physical resolution in the model
+#: (frequency steps are 0.2 GHz, intervals 0.5 ms, powers ~watts).
+EPS = 1e-9
+
+
+def approx_eq(a: float, b: float, tol: float = EPS) -> bool:
+    """True when ``a`` and ``b`` agree to within ``tol`` (absolute)."""
+    return abs(a - b) <= tol
 
 
 def ms(value: float) -> float:
@@ -68,8 +112,12 @@ def seconds_for_cycles(cycles: float, frequency_ghz: float) -> float:
     return cycles / (frequency_ghz * GHZ_TO_HZ)
 
 
-def bips(instructions: float, seconds: float) -> float:
-    """Throughput in billions of instructions per second."""
-    if seconds <= 0.0:
+def bips(instructions, seconds):
+    """Throughput in billions of instructions per second.
+
+    Vectorized: either argument may be a scalar or a numpy array (aligned
+    shapes), matching the per-core accounting in the simulator.
+    """
+    if np.any(np.asarray(seconds) <= 0.0):
         raise ValueError(f"interval must be positive, got {seconds}")
     return instructions / seconds / 1e9

@@ -13,6 +13,12 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+__all__ = [
+    "PAPER_ISLAND_MULTIPLIERS",
+    "island_multipliers_to_cores",
+    "uniform_multipliers",
+]
+
 #: Leakage of islands 1..4 relative to island 4 (the least leaky).
 PAPER_ISLAND_MULTIPLIERS: Tuple[float, float, float, float] = (1.2, 1.5, 2.0, 1.0)
 

@@ -15,6 +15,8 @@ import numpy as np
 
 from ..thermal.floorplan import Floorplan
 
+__all__ = ["VariationMap", "sample_variation_map"]
+
 
 @dataclass(frozen=True)
 class VariationMap:

@@ -17,6 +17,16 @@ import numpy as np
 
 from .phases import Phase, PhaseMachine
 
+__all__ = [
+    "BenchmarkInstance",
+    "BenchmarkSpec",
+    "CPU_BOUND",
+    "MEMORY_BOUND",
+    "MemoryBehavior",
+    "WorkloadSample",
+    "make_instances",
+]
+
 #: Classification letters used by Table III ("C" cpu-bound, "M" memory-bound).
 CPU_BOUND = "C"
 MEMORY_BOUND = "M"

@@ -20,6 +20,16 @@ from .benchmark import BenchmarkSpec
 from .parsec import parsec_benchmark
 from .spec import spec_benchmark
 
+__all__ = [
+    "MIX1",
+    "MIX2",
+    "MIX3",
+    "Mix",
+    "mix_for_config",
+    "parsec_or_spec",
+    "thermal_mix",
+]
+
 
 @dataclass(frozen=True)
 class Mix:

@@ -22,6 +22,8 @@ from typing import Dict, Tuple
 from .benchmark import CPU_BOUND, MEMORY_BOUND, BenchmarkSpec, MemoryBehavior
 from .phases import Phase
 
+__all__ = ["KB", "MB", "PARSEC_BENCHMARKS", "SHORT_NAMES", "parsec_benchmark"]
+
 KB = 1024
 MB = 1024 * 1024
 

@@ -20,6 +20,8 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+__all__ = ["Phase", "PhaseMachine", "PhaseState"]
+
 
 @dataclass(frozen=True)
 class Phase:

@@ -29,6 +29,8 @@ from ..rng import DEFAULT_SEED, SeedSequenceFactory
 from .benchmark import BenchmarkInstance, WorkloadSample
 from .mixes import Mix, mix_for_config
 
+__all__ = ["RecordedWorkload", "ReplayInstance", "record"]
+
 _FIELDS = ("alpha", "cpi_base", "l1_mpki", "l2_mpki")
 
 

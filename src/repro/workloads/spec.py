@@ -15,6 +15,8 @@ from typing import Dict
 from .benchmark import CPU_BOUND, BenchmarkSpec, MemoryBehavior
 from .phases import Phase
 
+__all__ = ["KB", "MB", "SPEC_BENCHMARKS", "spec_benchmark"]
+
 KB = 1024
 MB = 1024 * 1024
 

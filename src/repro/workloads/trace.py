@@ -21,6 +21,12 @@ import numpy as np
 
 from .benchmark import BenchmarkSpec, MemoryBehavior
 
+__all__ = [
+    "AddressTraceGenerator",
+    "MissRateCalibration",
+    "calibrate_miss_rates",
+]
+
 
 class AddressTraceGenerator:
     """Generates a byte-address stream following a :class:`MemoryBehavior`.
