@@ -1,0 +1,193 @@
+"""End-to-end runtime benchmark: simulator throughput and runner speedup.
+
+Measures wall-clock throughput in simulated PIC ticks per second for
+8/16/32-core chips, comparing the legacy per-tick workload path
+(``batch_workloads=False``) against the batched path, and times a
+4-point budget sweep through ``repro.runner.run_many`` — serial, cold
+parallel (fresh cache), and warm parallel (cache hits).
+
+Writes ``BENCH_runtime.json`` at the repo root (``--out`` overrides).
+The host CPU count is recorded in the output: on single-core runners the
+process-pool fan-out cannot add parallel speedup, so the sweep gains
+come from workload batching and the on-disk result cache.
+
+Usage::
+
+    python benchmarks/bench_runtime.py            # full horizons
+    python benchmarks/bench_runtime.py --quick    # CI-sized horizons
+    python benchmarks/bench_runtime.py --jobs 8   # pool width for the sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without an installed package
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import DEFAULT_CONFIG
+from repro.cmpsim.simulator import Simulation
+from repro.core.cpm import CPMScheme
+from repro.rng import DEFAULT_SEED
+from repro.runner import RunRequest, run_many
+
+SWEEP_BUDGETS = (0.75, 0.80, 0.85, 0.90)
+CONFIGS = (
+    ("8c4i", 8, 4),
+    ("16c4i", 16, 4),
+    ("32c8i", 32, 8),
+)
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``fn()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _single_run_seconds(config, n_gpm: int, batch: bool, repeats: int):
+    result = {}
+
+    def once():
+        sim = Simulation(
+            config, CPMScheme(), budget_fraction=0.8, seed=DEFAULT_SEED
+        )
+        result["run"] = sim.run(n_gpm, batch_workloads=batch)
+
+    seconds = _time(once, repeats)
+    return seconds, result["run"].telemetry.n_intervals
+
+
+def bench_configs(n_gpm: int, repeats: int) -> list[dict]:
+    rows = []
+    for name, n_cores, n_islands in CONFIGS:
+        config = DEFAULT_CONFIG.with_islands(n_cores, n_islands)
+        # Warm the in-process calibration memo so its one-time cost does
+        # not land on whichever variant happens to be timed first.
+        _single_run_seconds(config, 1, True, 1)
+        legacy_s, ticks = _single_run_seconds(config, n_gpm, False, repeats)
+        batched_s, _ = _single_run_seconds(config, n_gpm, True, repeats)
+        rows.append(
+            {
+                "name": name,
+                "n_cores": n_cores,
+                "n_islands": n_islands,
+                "ticks": ticks,
+                "legacy_per_tick": {
+                    "seconds": round(legacy_s, 4),
+                    "ticks_per_s": round(ticks / legacy_s, 1),
+                },
+                "batched": {
+                    "seconds": round(batched_s, 4),
+                    "ticks_per_s": round(ticks / batched_s, 1),
+                },
+                "batched_speedup": round(legacy_s / batched_s, 2),
+            }
+        )
+        print(
+            f"{name}: legacy {ticks / legacy_s:8.0f} ticks/s, "
+            f"batched {ticks / batched_s:8.0f} ticks/s "
+            f"({legacy_s / batched_s:.2f}x)"
+        )
+    return rows
+
+
+def bench_sweep(n_gpm: int, jobs: int) -> dict:
+    """Time a 4-point budget sweep four ways; all vs the legacy serial loop."""
+    config = DEFAULT_CONFIG
+
+    def legacy_serial():
+        for budget in SWEEP_BUDGETS:
+            Simulation(
+                config, CPMScheme(), budget_fraction=budget, seed=DEFAULT_SEED
+            ).run(n_gpm, batch_workloads=False)
+
+    requests = [
+        RunRequest(
+            config=config,
+            scheme_factory=CPMScheme,
+            budget_fraction=budget,
+            seed=DEFAULT_SEED,
+            n_gpm_intervals=n_gpm,
+        )
+        for budget in SWEEP_BUDGETS
+    ]
+
+    legacy_s = _time(legacy_serial, 1)
+    serial_s = _time(lambda: run_many(requests, jobs=1), 1)
+    with tempfile.TemporaryDirectory(prefix="bench-cache-") as cache:
+        cold_s = _time(lambda: run_many(requests, jobs=jobs, cache_dir=cache), 1)
+        warm_s = _time(lambda: run_many(requests, jobs=jobs, cache_dir=cache), 1)
+
+    out = {
+        "budgets": list(SWEEP_BUDGETS),
+        "n_gpm_intervals": n_gpm,
+        "jobs": jobs,
+        "legacy_serial_s": round(legacy_s, 4),
+        "runner_serial_s": round(serial_s, 4),
+        f"runner_jobs{jobs}_cold_s": round(cold_s, 4),
+        f"runner_jobs{jobs}_warm_s": round(warm_s, 4),
+        "speedup_serial_vs_legacy": round(legacy_s / serial_s, 2),
+        f"speedup_jobs{jobs}_cold_vs_legacy": round(legacy_s / cold_s, 2),
+        f"speedup_jobs{jobs}_warm_vs_legacy": round(legacy_s / warm_s, 2),
+    }
+    print(
+        f"sweep ({len(SWEEP_BUDGETS)} budgets): legacy {legacy_s:.3f}s, "
+        f"runner serial {serial_s:.3f}s ({legacy_s / serial_s:.2f}x), "
+        f"jobs={jobs} cold {cold_s:.3f}s ({legacy_s / cold_s:.2f}x), "
+        f"warm {warm_s:.3f}s ({legacy_s / warm_s:.2f}x)"
+    )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized horizons (6 GPM intervals, 1 repeat)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the sweep benchmark")
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_runtime.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    n_gpm = 6 if args.quick else 25
+    repeats = 1 if args.quick else 3
+
+    payload = {
+        "benchmark": "bench_runtime",
+        "quick": args.quick,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "configs": bench_configs(n_gpm, repeats),
+        "sweep": bench_sweep(n_gpm, args.jobs),
+        "notes": [
+            "legacy_per_tick is the pre-runner execution model: per-tick "
+            "workload advancement, no batching, no cache.",
+            "speedups are wall-clock ratios vs that legacy serial model "
+            "on this host; with cpu_count=1 the pool adds no parallelism "
+            "and sweep gains come from batching plus the result cache.",
+        ],
+    }
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

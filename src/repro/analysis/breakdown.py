@@ -22,6 +22,7 @@ from typing import Dict
 
 import numpy as np
 
+from ..arrayops import island_sums
 from ..cmpsim.chip import Chip
 from ..cmpsim.simulator import SimulationResult
 from ..power.dynamic import STRUCTURES
@@ -114,8 +115,9 @@ def energy_breakdown(result: SimulationResult) -> EnergyBreakdown:
     )
 
     core_w = dynamic_w + static_w
-    island_j = np.zeros(result.config.n_islands)
-    np.add.at(island_j, island_of_core, core_w.sum(axis=0) * dt)
+    island_j = island_sums(
+        island_of_core, core_w.sum(axis=0) * dt, result.config.n_islands
+    )
 
     n_ticks = freq_islands.shape[0]
     uncore_j = chip.uncore_power_w * dt * n_ticks

@@ -19,17 +19,19 @@ Example::
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
 from typing import Callable, List, Sequence
 
 import numpy as np
 
-from ..cmpsim.simulator import PowerScheme, Simulation, SimulationResult
+from ..cmpsim.simulator import PowerScheme, SimulationResult
 from ..config import CMPConfig, DEFAULT_CONFIG
 from ..core.metrics import performance_degradation
 from ..experiments.common import reference_run
 from ..reporting import format_table
 from ..rng import DEFAULT_SEED
+from ..runner import RunRequest, run_many
 from ..workloads.mixes import Mix
 
 __all__ = [
@@ -94,26 +96,21 @@ class SweepResult:
         return np.array([p.mean_power for p in self.points])
 
 
-def _run_point(
-    scheme_factory: SchemeFactory,
-    config: CMPConfig,
-    mix: Mix | None,
-    budget: float,
-    n_gpm: int,
-    seed: int,
+def _to_points(
+    labels: Sequence[str],
+    requests: Sequence[RunRequest],
+    results: Sequence[SimulationResult],
     reference: SimulationResult,
-    label: str,
-) -> SweepPoint:
-    sim = Simulation(
-        config, scheme_factory(), mix=mix, budget_fraction=budget, seed=seed
-    )
-    result = sim.run(n_gpm)
-    return SweepPoint(
-        label=label,
-        budget_fraction=budget,
-        result=result,
-        degradation=performance_degradation(result, reference),
-    )
+) -> list[SweepPoint]:
+    return [
+        SweepPoint(
+            label=label,
+            budget_fraction=request.budget_fraction,
+            result=result,
+            degradation=performance_degradation(result, reference),
+        )
+        for label, request, result in zip(labels, requests, results)
+    ]
 
 
 def budget_sweep(
@@ -124,28 +121,37 @@ def budget_sweep(
     n_gpm_intervals: int = 25,
     seed: int = DEFAULT_SEED,
     title: str = "budget sweep",
+    jobs: int | None = 1,
+    cache_dir: str | pathlib.Path | None = None,
 ) -> SweepResult:
-    """One scheme across several budgets, paired against no-management."""
+    """One scheme across several budgets, paired against no-management.
+
+    The points are independent runs; ``jobs``/``cache_dir`` forward to
+    :func:`repro.runner.run_many` (results are ordered and identical
+    across ``jobs`` settings).
+    """
     if not budgets:
         raise ValueError("need at least one budget")
-    reference = reference_run(config, mix, seed=seed, n_gpm=n_gpm_intervals)
-    sweep = SweepResult(title=title)
     for budget in budgets:
         if not 0.0 < budget <= 1.0:
             raise ValueError(f"budget {budget} out of (0, 1]")
-        sweep.points.append(
-            _run_point(
-                scheme_factory,
-                config,
-                mix,
-                budget,
-                n_gpm_intervals,
-                seed,
-                reference,
-                label=f"budget {budget:.2f}",
-            )
+    reference = reference_run(config, mix, seed=seed, n_gpm=n_gpm_intervals)
+    requests = [
+        RunRequest(
+            config=config,
+            scheme_factory=scheme_factory,
+            mix=mix,
+            budget_fraction=budget,
+            seed=seed,
+            n_gpm_intervals=n_gpm_intervals,
         )
-    return sweep
+        for budget in budgets
+    ]
+    results = run_many(requests, jobs=jobs, cache_dir=cache_dir)
+    labels = [f"budget {budget:.2f}" for budget in budgets]
+    return SweepResult(
+        title=title, points=_to_points(labels, requests, results, reference)
+    )
 
 
 def scheme_sweep(
@@ -156,25 +162,33 @@ def scheme_sweep(
     n_gpm_intervals: int = 25,
     seed: int = DEFAULT_SEED,
     title: str | None = None,
+    jobs: int | None = 1,
+    cache_dir: str | pathlib.Path | None = None,
 ) -> SweepResult:
-    """Several schemes at one budget, paired against no-management."""
+    """Several schemes at one budget, paired against no-management.
+
+    ``jobs``/``cache_dir`` forward to :func:`repro.runner.run_many`.
+    """
     if not scheme_factories:
         raise ValueError("need at least one scheme")
     if not 0.0 < budget <= 1.0:
         raise ValueError(f"budget {budget} out of (0, 1]")
     reference = reference_run(config, mix, seed=seed, n_gpm=n_gpm_intervals)
-    sweep = SweepResult(title=title or f"schemes @ budget {budget:.2f}")
-    for name, factory in scheme_factories.items():
-        sweep.points.append(
-            _run_point(
-                factory,
-                config,
-                mix,
-                budget,
-                n_gpm_intervals,
-                seed,
-                reference,
-                label=name,
-            )
+    requests = [
+        RunRequest(
+            config=config,
+            scheme_factory=factory,
+            mix=mix,
+            budget_fraction=budget,
+            seed=seed,
+            n_gpm_intervals=n_gpm_intervals,
         )
-    return sweep
+        for factory in scheme_factories.values()
+    ]
+    results = run_many(requests, jobs=jobs, cache_dir=cache_dir)
+    return SweepResult(
+        title=title or f"schemes @ budget {budget:.2f}",
+        points=_to_points(
+            list(scheme_factories), requests, results, reference
+        ),
+    )

@@ -20,7 +20,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import functools
 import importlib
+import inspect
 import sys
 from typing import Sequence
 
@@ -74,14 +76,29 @@ def _build_config(args: argparse.Namespace) -> CMPConfig:
     return config
 
 
-def _build_scheme(args: argparse.Namespace):
-    if args.scheme == "cpm":
-        return CPMScheme(policy=POLICIES[args.policy]())
-    if args.scheme == "maxbips":
+def _scheme_from_names(scheme: str, policy: str):
+    """Build a scheme from its CLI names.
+
+    Module-level (not a closure over ``args``) so
+    ``functools.partial(_scheme_from_names, ...)`` pickles into runner
+    worker processes.
+    """
+    if scheme == "cpm":
+        return CPMScheme(policy=POLICIES[policy]())
+    if scheme == "maxbips":
         return MaxBIPSScheme()
-    if args.scheme == "static":
+    if scheme == "static":
         return StaticUniformScheme()
     return NoManagementScheme()
+
+
+def _build_scheme(args: argparse.Namespace):
+    return _scheme_from_names(args.scheme, args.policy)
+
+
+def _jobs_value(raw: str) -> int | None:
+    """Parse ``--jobs``: a worker count, or ``all`` for every core."""
+    return None if raw == "all" else int(raw)
 
 
 def _add_platform_args(parser: argparse.ArgumentParser) -> None:
@@ -196,13 +213,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     budgets = [round(b, 6) for b in
                list(np.arange(start, stop + units.EPS, step))]
     result = budget_sweep(
-        lambda: _build_scheme(args),
+        functools.partial(_scheme_from_names, args.scheme, args.policy),
         budgets=budgets,
         config=config,
         n_gpm_intervals=args.intervals,
         seed=args.seed,
         title=f"{args.scheme} across budgets on "
         f"{config.n_cores}c/{config.n_islands}i",
+        jobs=args.jobs,
     )
     print(result.as_table())
     return 0
@@ -222,7 +240,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         return 2
     for name in names:
         module = importlib.import_module(f"repro.experiments.{name}")
-        result = module.run(seed=args.seed, quick=args.quick)
+        kwargs = {"seed": args.seed, "quick": args.quick}
+        # Only sweep-style experiments (independent runs) take jobs.
+        if "jobs" in inspect.signature(module.run).parameters:
+            kwargs["jobs"] = args.jobs
+        result = module.run(**kwargs)
         print(result.render())
         print()
     return 0
@@ -263,6 +285,8 @@ def build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--budgets", default="0.75:1.0:0.05",
                      help="start:stop:step budget range")
     swp.add_argument("--intervals", type=int, default=25)
+    swp.add_argument("--jobs", type=_jobs_value, default=1,
+                     help="worker processes (a count, or 'all')")
     swp.set_defaults(func=cmd_sweep)
 
     exp = sub.add_parser("experiment", help="run paper experiments")
@@ -270,6 +294,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--quick", action="store_true",
                      help="shortened horizons")
     exp.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    exp.add_argument("--jobs", type=_jobs_value, default=1,
+                     help="worker processes (a count, or 'all')")
     exp.set_defaults(func=cmd_experiment)
     return parser
 

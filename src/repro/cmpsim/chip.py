@@ -21,6 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from .. import units
+from ..arrayops import island_sums
 from ..config import CMPConfig
 from ..power.model import CorePowerModel
 from ..thermal.floorplan import Floorplan, grid_floorplan
@@ -126,6 +127,27 @@ class Chip:
         self.uncore_power_w = cores_max * uncore_fraction / (1.0 - uncore_fraction)
         self.max_power_w = cores_max + self.uncore_power_w
         self._per_core_max_w = np.asarray(per_core_max, dtype=float)
+        # Static per-island power bounds, cached here because every GPM
+        # bind re-asks for them (see island_power_bounds).
+        per_core_min = self.power_model.power(
+            float(self.dvfs.voltages[0]),
+            self.dvfs.f_min,
+            busy=0.0,
+            alpha=1.0,
+            temperature_c=self.power_model.leakage.nominal_temperature_c,
+            leakage_multiplier=self.leakage_multipliers,
+        )
+        n_islands = self.config.n_islands
+        self._island_min_frac = (
+            island_sums(
+                self.island_of_core, np.asarray(per_core_min, dtype=float), n_islands
+            )
+            / self.max_power_w
+        )
+        self._island_max_frac = (
+            island_sums(self.island_of_core, self._per_core_max_w, n_islands)
+            / self.max_power_w
+        )
 
     @property
     def uncore_fraction(self) -> float:
@@ -138,31 +160,11 @@ class Chip:
         Max: every core fully active at the top point.  Min: every core
         idle (clock-gating floor) at the bottom point.  Real consumption
         always lies between; the bounds keep GPM set-points sane.
+
+        Returns fresh copies — some schemes (e.g. no-management) mutate the
+        returned arrays as their set-points.
         """
-        n_islands = self.config.n_islands
-        v_min = float(self.dvfs.voltages[0])
-        f_min = self.dvfs.f_min
-        per_core_min = self.power_model.power(
-            v_min,
-            f_min,
-            busy=0.0,
-            alpha=1.0,
-            temperature_c=self.power_model.leakage.nominal_temperature_c,
-            leakage_multiplier=self.leakage_multipliers,
-        )
-        min_frac = np.array(
-            [
-                float(np.sum(np.asarray(per_core_min)[self.island_of_core == i]))
-                for i in range(n_islands)
-            ]
-        ) / self.max_power_w
-        max_frac = np.array(
-            [
-                float(np.sum(self._per_core_max_w[self.island_of_core == i]))
-                for i in range(n_islands)
-            ]
-        ) / self.max_power_w
-        return min_frac, max_frac
+        return self._island_min_frac.copy(), self._island_max_frac.copy()
 
     # ------------------------------------------------------------------
     # Actuation
@@ -220,14 +222,21 @@ class Chip:
         freq = self.core_frequencies()
         volt = np.asarray(self.dvfs.voltage_at(freq))
 
-        perf = cpi_stack(freq, alpha, cpi_base, l1_mpki, l2_mpki, cfg.memory)
+        # Ranges are guaranteed upstream: frequencies come off the clamped
+        # ladder, alphas out of the phase machine's clip.
+        perf = cpi_stack(
+            freq, alpha, cpi_base, l1_mpki, l2_mpki, cfg.memory, check=False
+        )
 
-        effective_dt = np.full(n_cores, dt)
-        if transitioned_islands is not None:
+        if transitioned_islands is not None and np.any(transitioned_islands):
             mask = np.asarray(transitioned_islands, dtype=bool)[self.island_of_core]
             effective_dt = np.where(
                 mask, dt * (1.0 - cfg.dvfs.transition_overhead), dt
             )
+        else:
+            # Scalar broadcasts identically to np.full(n_cores, dt) and
+            # skips two array allocations on the common no-transition path.
+            effective_dt = dt
         instructions = perf.ips * effective_dt
 
         temperatures = self.thermal.temperatures
@@ -238,22 +247,25 @@ class Chip:
             alpha=alpha,
             temperature_c=temperatures,
             leakage_multiplier=self.leakage_multipliers,
+            check=False,
         )
         core_power = np.asarray(core_power, dtype=float)
 
-        island_power = np.zeros(cfg.n_islands)
-        island_bips = np.zeros(cfg.n_islands)
-        island_util = np.zeros(cfg.n_islands)
         # Utilization = switching-activity-weighted cycle rate relative to
         # the peak cycle rate: the perf-counter quantity the PIC's sensor
         # reads.  Monotone in frequency for every workload class, which is
         # what makes the Figure 6 linear fits tight.
         activity = self.power_model.dynamic.core_activity(perf.busy, alpha)
         utilization = np.asarray(activity) * freq / self.dvfs.f_max
-        np.add.at(island_power, self.island_of_core, core_power)
-        np.add.at(island_bips, self.island_of_core,
-                  units.bips(instructions, effective_dt))
-        np.add.at(island_util, self.island_of_core, utilization)
+        island_power = island_sums(self.island_of_core, core_power, cfg.n_islands)
+        island_bips = island_sums(
+            self.island_of_core,
+            units.bips(instructions, effective_dt),
+            cfg.n_islands,
+        )
+        island_util = island_sums(
+            self.island_of_core, utilization, cfg.n_islands
+        )
         island_util /= cfg.cores_per_island
 
         chip_power = float(island_power.sum() + self.uncore_power_w)

@@ -20,6 +20,7 @@ from typing import Protocol, runtime_checkable
 import numpy as np
 
 from .. import units
+from ..arrayops import island_sums
 from ..config import CMPConfig
 from ..rng import DEFAULT_SEED, SeedSequenceFactory
 from ..workloads.benchmark import BenchmarkInstance
@@ -165,8 +166,11 @@ class Simulation:
         sums["bips"] += result.island_bips
         sums["util"] += result.island_utilization
         sums["energy"] += result.island_power_w * result.dt
-        core_instr = result.core_instructions
-        np.add.at(sums["instructions"], self.chip.island_of_core, core_instr)
+        sums["instructions"] += island_sums(
+            self.chip.island_of_core,
+            result.core_instructions,
+            self.config.n_islands,
+        )
         self._window_ticks += 1
 
     def _complete_window(self) -> None:
@@ -190,8 +194,20 @@ class Simulation:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, n_gpm_intervals: int) -> SimulationResult:
-        """Simulate ``n_gpm_intervals`` GPM windows; returns the result."""
+    def run(
+        self, n_gpm_intervals: int, batch_workloads: bool | None = None
+    ) -> SimulationResult:
+        """Simulate ``n_gpm_intervals`` GPM windows; returns the result.
+
+        ``batch_workloads`` selects how workload samples are produced:
+        ``True`` pre-generates the whole run's samples in one vectorized
+        ``advance_block`` pass per core (exact — workload evolution never
+        observes the control loop), ``False`` calls ``advance()`` per core
+        per tick, and ``None`` (default) batches whenever every instance
+        supports it.  Both paths yield bit-identical telemetry; batching
+        only changes ``retire()`` from one call per tick to one call per
+        run (same totals).
+        """
         if n_gpm_intervals < 1:
             raise ValueError("need at least one GPM interval")
         cfg = self.config
@@ -202,19 +218,45 @@ class Simulation:
         self.scheme.bind(self)
         self._reset_window()
 
-        alpha = np.empty(n_cores)
-        cpi_base = np.empty(n_cores)
-        l1_mpki = np.empty(n_cores)
-        l2_mpki = np.empty(n_cores)
-
         total_ticks = n_gpm_intervals * pics_per_gpm
-        for _ in range(total_ticks):
+        if batch_workloads is None:
+            batch_workloads = all(
+                hasattr(instance, "advance_block") for instance in self.instances
+            )
+
+        if batch_workloads:
+            # One (total_ticks, n_cores) array per workload field; row t is
+            # the tick-t per-core vector the serial path would assemble.
+            wl_alpha = np.empty((total_ticks, n_cores))
+            wl_cpi_base = np.empty((total_ticks, n_cores))
+            wl_l1_mpki = np.empty((total_ticks, n_cores))
+            wl_l2_mpki = np.empty((total_ticks, n_cores))
             for i, instance in enumerate(self.instances):
-                sample = instance.advance()
-                alpha[i] = sample.alpha
-                cpi_base[i] = sample.cpi_base
-                l1_mpki[i] = sample.l1_mpki
-                l2_mpki[i] = sample.l2_mpki
+                block = instance.advance_block(total_ticks)
+                wl_alpha[:, i] = block.alpha
+                wl_cpi_base[:, i] = block.cpi_base
+                wl_l1_mpki[:, i] = block.l1_mpki
+                wl_l2_mpki[:, i] = block.l2_mpki
+            instruction_totals = np.zeros(n_cores)
+        else:
+            alpha = np.empty(n_cores)
+            cpi_base = np.empty(n_cores)
+            l1_mpki = np.empty(n_cores)
+            l2_mpki = np.empty(n_cores)
+
+        for t in range(total_ticks):
+            if batch_workloads:
+                alpha = wl_alpha[t]
+                cpi_base = wl_cpi_base[t]
+                l1_mpki = wl_l1_mpki[t]
+                l2_mpki = wl_l2_mpki[t]
+            else:
+                for i, instance in enumerate(self.instances):
+                    sample = instance.advance()
+                    alpha[i] = sample.alpha
+                    cpi_base[i] = sample.cpi_base
+                    l1_mpki[i] = sample.l1_mpki
+                    l2_mpki[i] = sample.l2_mpki
 
             is_gpm_tick = self.tick % pics_per_gpm == 0
             if is_gpm_tick:
@@ -230,8 +272,13 @@ class Simulation:
             result = self.chip.compute_interval(
                 alpha, cpi_base, l1_mpki, l2_mpki, dt, transitioned
             )
-            for i, instance in enumerate(self.instances):
-                instance.retire(float(result.core_instructions[i]))
+            if batch_workloads:
+                # Same per-tick IEEE adds as calling retire() every tick,
+                # just into an array; folded into the instances below.
+                instruction_totals += result.core_instructions
+            else:
+                for i, instance in enumerate(self.instances):
+                    instance.retire(float(result.core_instructions[i]))
 
             self._accumulate_window(result)
             self.telemetry.record(
@@ -240,6 +287,10 @@ class Simulation:
             self.last_result = result
             self.tick += 1
             self.time_s += dt
+
+        if batch_workloads:
+            for i, instance in enumerate(self.instances):
+                instance.retire(float(instruction_totals[i]))
 
         self._complete_window()
         return SimulationResult(

@@ -4,22 +4,28 @@ Keeps experiments terse: a result container with a uniform renderer,
 memoized reference (no-management) runs, and the standard run lengths.
 Reference runs are cached per (config, mix, seed, horizon) because nearly
 every figure needs the same unmanaged baseline and the workload streams
-are seed-deterministic, so sharing is exact, not approximate.
+are seed-deterministic, so sharing is exact, not approximate.  The memo
+is two-level: an in-process ``lru_cache`` in front of the on-disk result
+cache of :mod:`repro.runner`, so the baseline survives across processes
+and sessions instead of being recomputed in every worker (set
+``REPRO_CACHE=0`` to disable the disk level).
 """
 
 from __future__ import annotations
 
 import functools
+import inspect
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 import numpy as np
 
 from ..baselines.no_management import NoManagementScheme
-from ..cmpsim.simulator import Simulation, SimulationResult
+from ..cmpsim.simulator import SimulationResult
 from ..config import CMPConfig
 from ..reporting import format_series, format_table
 from ..rng import DEFAULT_SEED
+from ..runner import RunRequest, run_one
 from ..workloads.mixes import Mix, mix_for_config
 
 __all__ = [
@@ -82,10 +88,15 @@ def horizon(quick: bool) -> int:
 def _reference_run_cached(
     config: CMPConfig, mix: Mix, seed: int, n_gpm: int
 ) -> SimulationResult:
-    sim = Simulation(
-        config, NoManagementScheme(), mix=mix, budget_fraction=1.0, seed=seed
+    request = RunRequest(
+        config=config,
+        scheme_factory=NoManagementScheme,
+        mix=mix,
+        budget_fraction=1.0,
+        seed=seed,
+        n_gpm_intervals=n_gpm,
     )
-    return sim.run(n_gpm)
+    return run_one(request, cache_dir="auto")
 
 
 def reference_run(
@@ -101,12 +112,26 @@ def reference_run(
 def main(run_fn, *, quick: bool | None = None) -> None:
     """Standard ``python -m`` entry: run and print one experiment.
 
-    Honors a ``--quick`` flag on the command line when ``quick`` is not
-    forced by the caller.
+    Honors ``--quick`` and ``--jobs N`` command-line flags when not
+    forced by the caller; ``--jobs`` is forwarded only to experiments
+    whose ``run`` accepts it (those built on independent runs).
     """
-    if quick is None:
-        import sys
+    import sys
 
-        quick = "--quick" in sys.argv[1:]
-    result = run_fn(quick=quick)
+    argv = sys.argv[1:]
+    if quick is None:
+        quick = "--quick" in argv
+    kwargs: dict = {"quick": quick}
+    if "--jobs" in argv:
+        jobs_value = argv[argv.index("--jobs") + 1]
+        jobs = None if jobs_value == "all" else int(jobs_value)
+        if "jobs" in inspect.signature(run_fn).parameters:
+            kwargs["jobs"] = jobs
+        else:
+            print(
+                f"note: {getattr(run_fn, '__module__', 'experiment')} does "
+                "not support --jobs; running serially",
+                file=sys.stderr,
+            )
+    result = run_fn(**kwargs)
     print(result.render())

@@ -11,10 +11,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..baselines.maxbips import MaxBIPSScheme
-from ..cmpsim.simulator import Simulation
 from ..config import DEFAULT_CONFIG
-from ..core.cpm import run_cpm
+from ..core.cpm import CPMScheme
 from ..rng import DEFAULT_SEED
+from ..runner import RunRequest, run_many
 from ..workloads.mixes import MIX1
 from .common import ExperimentResult, WARMUP_INTERVALS, horizon
 
@@ -23,7 +23,9 @@ __all__ = ["BUDGETS", "run"]
 BUDGETS = (0.95, 0.90, 0.85, 0.80, 0.75)
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
+def run(
+    seed: int = DEFAULT_SEED, quick: bool = False, jobs: int | None = 1
+) -> ExperimentResult:
     config = DEFAULT_CONFIG
     n_gpm = horizon(quick)
     budgets = BUDGETS[1::2] if quick else BUDGETS
@@ -39,14 +41,21 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
             "MaxBIPS max power",
         ),
     )
-    cpm_curve, maxbips_curve = [], []
-    for budget in budgets:
-        cpm = run_cpm(
-            config, mix=MIX1, budget_fraction=budget, n_gpm_intervals=n_gpm, seed=seed
+    requests = [
+        RunRequest(
+            config=config,
+            scheme_factory=factory,
+            mix=MIX1,
+            budget_fraction=budget,
+            seed=seed,
+            n_gpm_intervals=n_gpm,
         )
-        maxbips = Simulation(
-            config, MaxBIPSScheme(), mix=MIX1, budget_fraction=budget, seed=seed
-        ).run(n_gpm)
+        for budget in budgets
+        for factory in (CPMScheme, MaxBIPSScheme)
+    ]
+    results = run_many(requests, jobs=jobs)
+    cpm_curve, maxbips_curve = [], []
+    for budget, cpm, maxbips in zip(budgets, results[0::2], results[1::2]):
         skip = min(WARMUP_INTERVALS, cpm.telemetry.n_intervals // 3)
         cpm_power = cpm.telemetry["chip_power_frac"][skip:]
         mb_power = maxbips.telemetry["chip_power_frac"][skip:]

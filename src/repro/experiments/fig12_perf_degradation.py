@@ -10,9 +10,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import DEFAULT_CONFIG
-from ..core.cpm import run_cpm
+from ..core.cpm import CPMScheme
 from ..core.metrics import performance_degradation
 from ..rng import DEFAULT_SEED
+from ..runner import RunRequest, run_many
 from ..workloads.mixes import MIX1
 from .common import ExperimentResult, horizon, reference_run
 
@@ -21,7 +22,9 @@ __all__ = ["BUDGETS", "run"]
 BUDGETS = (1.00, 0.95, 0.90, 0.85, 0.80, 0.75)
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
+def run(
+    seed: int = DEFAULT_SEED, quick: bool = False, jobs: int | None = 1
+) -> ExperimentResult:
     config = DEFAULT_CONFIG
     n_gpm = horizon(quick)
     budgets = BUDGETS[::2] if quick else BUDGETS
@@ -32,11 +35,19 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
         description="performance degradation vs chip power budget (Mix-1)",
         headers=("budget", "mean chip power", "perf degradation"),
     )
-    degradations = []
-    for budget in budgets:
-        res = run_cpm(
-            config, mix=MIX1, budget_fraction=budget, n_gpm_intervals=n_gpm, seed=seed
+    requests = [
+        RunRequest(
+            config=config,
+            scheme_factory=CPMScheme,
+            mix=MIX1,
+            budget_fraction=budget,
+            seed=seed,
+            n_gpm_intervals=n_gpm,
         )
+        for budget in budgets
+    ]
+    degradations = []
+    for budget, res in zip(budgets, run_many(requests, jobs=jobs)):
         deg = performance_degradation(res, reference)
         degradations.append(deg)
         result.add_row(budget, res.mean_chip_power_frac, deg)

@@ -10,11 +10,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..baselines.maxbips import MaxBIPSScheme
-from ..cmpsim.simulator import Simulation
 from ..config import DEFAULT_CONFIG
-from ..core.cpm import run_cpm
+from ..core.cpm import CPMScheme
 from ..core.metrics import performance_degradation
 from ..rng import DEFAULT_SEED
+from ..runner import RunRequest, run_many
 from .common import ExperimentResult, horizon, reference_run
 
 __all__ = ["BUDGETS", "run"]
@@ -22,7 +22,9 @@ __all__ = ["BUDGETS", "run"]
 BUDGETS = (0.90, 0.85, 0.80, 0.75)
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
+def run(
+    seed: int = DEFAULT_SEED, quick: bool = False, jobs: int | None = 1
+) -> ExperimentResult:
     n_gpm = horizon(quick)
     budgets = (0.80,) if quick else BUDGETS
 
@@ -31,22 +33,41 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
         description="16/32-core scalability: CPM vs MaxBIPS across budgets",
         headers=("cores", "budget", "CPM degradation", "MaxBIPS degradation"),
     )
+    grid = [
+        (DEFAULT_CONFIG.with_islands(n_cores, n_cores // 4), n_cores, budget)
+        for n_cores in (16, 32)
+        for budget in budgets
+    ]
+    requests = [
+        RunRequest(
+            config=config,
+            scheme_factory=factory,
+            budget_fraction=budget,
+            seed=seed,
+            n_gpm_intervals=n_gpm,
+        )
+        for config, _n_cores, budget in grid
+        for factory in (CPMScheme, MaxBIPSScheme)
+    ]
+    results = run_many(requests, jobs=jobs)
+    references = {
+        n_cores: reference_run(
+            DEFAULT_CONFIG.with_islands(n_cores, n_cores // 4),
+            seed=seed,
+            n_gpm=n_gpm,
+        )
+        for n_cores in (16, 32)
+    }
     curves: dict[str, list[float]] = {}
-    for n_cores in (16, 32):
-        config = DEFAULT_CONFIG.with_islands(n_cores, n_cores // 4)
-        reference = reference_run(config, seed=seed, n_gpm=n_gpm)
-        for budget in budgets:
-            cpm = run_cpm(
-                config, budget_fraction=budget, n_gpm_intervals=n_gpm, seed=seed
-            )
-            maxbips = Simulation(
-                config, MaxBIPSScheme(), budget_fraction=budget, seed=seed
-            ).run(n_gpm)
-            cpm_deg = performance_degradation(cpm, reference)
-            mb_deg = performance_degradation(maxbips, reference)
-            result.add_row(n_cores, budget, cpm_deg, mb_deg)
-            curves.setdefault(f"CPM {n_cores}c", []).append(cpm_deg)
-            curves.setdefault(f"MaxBIPS {n_cores}c", []).append(mb_deg)
+    for (config, n_cores, budget), cpm, maxbips in zip(
+        grid, results[0::2], results[1::2]
+    ):
+        reference = references[n_cores]
+        cpm_deg = performance_degradation(cpm, reference)
+        mb_deg = performance_degradation(maxbips, reference)
+        result.add_row(n_cores, budget, cpm_deg, mb_deg)
+        curves.setdefault(f"CPM {n_cores}c", []).append(cpm_deg)
+        curves.setdefault(f"MaxBIPS {n_cores}c", []).append(mb_deg)
     for name, values in curves.items():
         result.add_series(name, np.asarray(values))
     result.notes.append(

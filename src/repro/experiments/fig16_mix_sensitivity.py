@@ -11,9 +11,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import DEFAULT_CONFIG
-from ..core.cpm import run_cpm
+from ..core.cpm import CPMScheme
 from ..core.metrics import performance_degradation
 from ..rng import DEFAULT_SEED
+from ..runner import RunRequest, run_many
 from ..workloads.mixes import MIX1, MIX2
 from .common import ExperimentResult, horizon, reference_run
 
@@ -22,7 +23,9 @@ __all__ = ["BUDGETS", "run"]
 BUDGETS = (0.90, 0.85, 0.80, 0.75)
 
 
-def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
+def run(
+    seed: int = DEFAULT_SEED, quick: bool = False, jobs: int | None = 1
+) -> ExperimentResult:
     config = DEFAULT_CONFIG
     n_gpm = horizon(quick)
     budgets = (0.80,) if quick else BUDGETS
@@ -32,18 +35,28 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
         description="degradation for Mix-1 (C,M islands) vs Mix-2 (homogeneous)",
         headers=("budget", "Mix-1 degradation", "Mix-2 degradation"),
     )
+    grid = [(budget, mix) for budget in budgets for mix in (MIX1, MIX2)]
+    requests = [
+        RunRequest(
+            config=config,
+            scheme_factory=CPMScheme,
+            mix=mix,
+            budget_fraction=budget,
+            seed=seed,
+            n_gpm_intervals=n_gpm,
+        )
+        for budget, mix in grid
+    ]
+    results = run_many(requests, jobs=jobs)
     curves: dict[str, list[float]] = {"Mix-1": [], "Mix-2": []}
+    rows: dict[float, list] = {}
+    for (budget, mix), res in zip(grid, results):
+        reference = reference_run(config, mix, seed=seed, n_gpm=n_gpm)
+        deg = performance_degradation(res, reference)
+        rows.setdefault(budget, [budget]).append(deg)
+        curves[mix.name].append(deg)
     for budget in budgets:
-        row = [budget]
-        for mix in (MIX1, MIX2):
-            reference = reference_run(config, mix, seed=seed, n_gpm=n_gpm)
-            res = run_cpm(
-                config, mix=mix, budget_fraction=budget, n_gpm_intervals=n_gpm, seed=seed
-            )
-            deg = performance_degradation(res, reference)
-            row.append(deg)
-            curves[mix.name].append(deg)
-        result.add_row(*row)
+        result.add_row(*rows[budget])
     for name, values in curves.items():
         result.add_series(name, np.asarray(values))
     result.notes.append(

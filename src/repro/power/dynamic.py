@@ -99,6 +99,8 @@ class DynamicPowerModel:
         self.stall_activity = stall_activity
         self._shares = np.array([s.capacitance_share for s in STRUCTURES])
         self._gateable = np.array([s.gateable for s in STRUCTURES])
+        self._gate_share = float(self._shares[self._gateable].sum())
+        self._fixed_share = 1.0 - self._gate_share
 
     def core_activity(
         self, busy: float | np.ndarray, alpha: float | np.ndarray
@@ -128,10 +130,8 @@ class DynamicPowerModel:
         :meth:`core_activity` through the linear clock-gating floor.
         """
         activity = self.core_activity(busy, alpha)
-        gate_share = float(self._shares[self._gateable].sum())
-        fixed_share = 1.0 - gate_share
-        effective = fixed_share + gate_share * self.gating.effective_activity(
-            activity
+        effective = self._fixed_share + self._gate_share * (
+            self.gating.effective_activity(activity)
         )
         if np.isscalar(busy) and np.isscalar(alpha):
             return float(effective)
@@ -143,11 +143,16 @@ class DynamicPowerModel:
         frequency_ghz: float | np.ndarray,
         busy: float | np.ndarray,
         alpha: float | np.ndarray = 1.0,
+        check: bool = True,
     ) -> float | np.ndarray:
-        """Dynamic power in watts.  Accepts scalars or aligned arrays."""
+        """Dynamic power in watts.  Accepts scalars or aligned arrays.
+
+        ``check=False`` skips input validation for callers that already
+        guarantee positive operating points (the simulator's inner loop).
+        """
         v = np.asarray(voltage, dtype=float)
         f = np.asarray(frequency_ghz, dtype=float)
-        if np.any(v <= 0) or np.any(f <= 0):
+        if check and (np.any(v <= 0) or np.any(f <= 0)):
             raise ValueError("voltage and frequency must be positive")
         activity = self.activity_factor(busy, alpha)
         result = self.effective_capacitance * v**2 * f * activity

@@ -69,14 +69,20 @@ class LeakagePowerModel:
         voltage: float | np.ndarray,
         temperature_c: float | np.ndarray = 60.0,
         process_multiplier: float | np.ndarray = 1.0,
+        check: bool = True,
     ) -> float | np.ndarray:
-        """Static power in watts.  Accepts scalars or aligned arrays."""
+        """Static power in watts.  Accepts scalars or aligned arrays.
+
+        ``check=False`` skips input validation for callers that already
+        guarantee positive inputs (the simulator's inner loop).
+        """
         v = np.asarray(voltage, dtype=float)
-        if np.any(v <= 0):
-            raise ValueError("voltage must be positive")
         m = np.asarray(process_multiplier, dtype=float)
-        if np.any(m <= 0):
-            raise ValueError("process multiplier must be positive")
+        if check:
+            if np.any(v <= 0):
+                raise ValueError("voltage must be positive")
+            if np.any(m <= 0):
+                raise ValueError("process multiplier must be positive")
         t = np.asarray(temperature_c, dtype=float)
         thermal = np.exp(self.thermal_beta * (t - self.nominal_temperature_c))
         result = (

@@ -68,10 +68,17 @@ class CorePowerModel:
         alpha: float | np.ndarray = 1.0,
         temperature_c: float | np.ndarray = 60.0,
         leakage_multiplier: float | np.ndarray = 1.0,
+        check: bool = True,
     ) -> float | np.ndarray:
-        """Total core power in watts; scalar or vectorized over cores."""
-        dyn = self.dynamic.power(voltage, frequency_ghz, busy, alpha)
-        stat = self.leakage.power(voltage, temperature_c, leakage_multiplier)
+        """Total core power in watts; scalar or vectorized over cores.
+
+        ``check=False`` forwards to both sub-models, skipping their input
+        validation (for the simulator's inner loop).
+        """
+        dyn = self.dynamic.power(voltage, frequency_ghz, busy, alpha, check=check)
+        stat = self.leakage.power(
+            voltage, temperature_c, leakage_multiplier, check=check
+        )
         return dyn + stat
 
     def breakdown(

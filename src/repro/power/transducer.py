@@ -35,6 +35,9 @@ class LinearTransducer:
 
     def __call__(self, utilization: float | np.ndarray) -> float | np.ndarray:
         """Convert a utilization measurement to estimated power."""
+        if isinstance(utilization, (float, int)):
+            # Hot path: one scalar conversion per island per PIC interval.
+            return self.k0 * float(utilization) + self.k1
         result = self.k0 * np.asarray(utilization, dtype=float) + self.k1
         if result.ndim == 0:
             return float(result)

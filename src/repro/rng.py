@@ -20,7 +20,7 @@ import zlib
 
 import numpy as np
 
-__all__ = ["DEFAULT_SEED", "SeedSequenceFactory", "derive", "role_seed"]
+__all__ = ["DEFAULT_SEED", "SeedSequenceFactory", "derive", "role_seed", "split"]
 
 #: Root seed used by the experiment harness unless overridden.
 DEFAULT_SEED = 20100610  # SC 2010 submission-era date; arbitrary but fixed.
@@ -40,6 +40,28 @@ def role_seed(root_seed: int, role: str) -> int:
 def derive(root_seed: int, role: str) -> np.random.Generator:
     """Return an independent generator for ``role`` under ``root_seed``."""
     return np.random.default_rng(role_seed(root_seed, role))
+
+
+def split(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``n`` independent child generators.
+
+    Children are spawned from the parent's seed sequence, so the split
+    depends only on the parent's seeding (not on how many values it has
+    produced) and the children's streams are independent of the parent's
+    and of each other.  A component that draws several *kinds* of values
+    can give each kind its own child stream; consumption of one kind then
+    never shifts another, which is what makes vectorized batch generation
+    bit-identical to one-at-a-time generation.
+
+    Splitting is stateful: successive calls on the same parent yield
+    fresh, distinct children.
+    """
+    if n < 1:
+        raise ValueError("need at least one child stream")
+    seed_seq = rng.bit_generator.seed_seq
+    return [
+        np.random.Generator(np.random.PCG64(child)) for child in seed_seq.spawn(n)
+    ]
 
 
 class SeedSequenceFactory:

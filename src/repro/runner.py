@@ -1,0 +1,379 @@
+"""Parallel execution engine for independent simulation runs.
+
+Every figure in the paper is a sweep of mutually independent
+:class:`~repro.cmpsim.simulator.Simulation` runs (budgets × mixes ×
+schemes × seeds).  This module gives the sweep layer three things the
+serial loops it replaces did not have:
+
+* :func:`run_many` — fan a list of :class:`RunRequest`\\ s over a process
+  pool, with results returned **in request order** regardless of worker
+  scheduling.  Determinism is unchanged: every run's randomness is fixed
+  by its request's seed, so ``jobs=4`` returns bit-identical results to
+  ``jobs=1``.
+* an on-disk result cache under ``.repro-cache/`` keyed by a content hash
+  of everything that determines a run's outcome (config, mix, scheme
+  name + parameters, budget, seed, horizon).  The cache is shared across
+  processes and sessions — unlike the old per-process
+  ``functools.lru_cache``, the no-management reference is computed once
+  per machine, not once per worker.
+* :func:`seed_stream` — deterministic per-run seed derivation for
+  replicated runs of one configuration.
+
+Cache layout and invalidation are documented in ``docs/PERFORMANCE.md``:
+entries live at ``<cache_dir>/<key[:2]>/<key>.pkl``, a changed key field
+is a miss (a new entry is written; stale entries are inert), and a
+corrupt or truncated entry is deleted and recomputed, never crashed on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pathlib
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, is_dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .cmpsim.simulator import PowerScheme, Simulation, SimulationResult
+from .config import CMPConfig
+from .rng import DEFAULT_SEED, role_seed
+from .workloads.mixes import Mix
+
+__all__ = [
+    "CACHE_VERSION",
+    "RunRequest",
+    "cache_key",
+    "describe_scheme",
+    "resolve_cache_dir",
+    "resolve_jobs",
+    "run_many",
+    "run_one",
+    "seed_stream",
+]
+
+#: Bump to invalidate every existing cache entry (simulation semantics
+#: changed in a way the key cannot see).
+CACHE_VERSION = 1
+
+_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+_CACHE_DISABLE_ENV = "REPRO_CACHE"
+_DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One independent simulation run, fully specified.
+
+    ``scheme_factory`` is a zero-argument callable returning a fresh
+    :class:`~repro.cmpsim.simulator.PowerScheme` (a scheme class works).
+    It must be picklable (module-level callable, class, or
+    ``functools.partial`` of one) for process-pool execution; closures
+    force :func:`run_many` to fall back to serial.
+    """
+
+    config: CMPConfig
+    scheme_factory: Callable[[], PowerScheme]
+    mix: Mix | None = None
+    budget_fraction: float = 0.8
+    seed: int = DEFAULT_SEED
+    n_gpm_intervals: int = 25
+    #: Overrides the scheme identity in the cache key.  Set this when the
+    #: factory's introspected parameters do not capture everything that
+    #: matters (or to share cache entries between equivalent factories).
+    scheme_key: str | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.budget_fraction <= 1.0:
+            raise ValueError("budget_fraction must be in (0, 1]")
+        if self.n_gpm_intervals < 1:
+            raise ValueError("need at least one GPM interval")
+
+
+# ----------------------------------------------------------------------
+# Content hashing
+# ----------------------------------------------------------------------
+def _stable(obj: object, depth: int = 0) -> str:
+    """A canonical string for ``obj`` that is stable across processes.
+
+    ``repr`` alone is not enough: default object reprs embed memory
+    addresses, dict iteration order is insertion order, and sets are
+    unordered.  This walks the value recursively, sorting unordered
+    containers and describing objects by class plus their (sorted)
+    attributes.  It only needs to be *stable and discriminating*, not
+    invertible.
+    """
+    if depth > 12:
+        raise ValueError("value too deeply nested for a stable cache key")
+    if obj is None or isinstance(obj, (bool, int, float, complex, str, bytes)):
+        return repr(obj)
+    if isinstance(obj, np.ndarray):
+        return f"ndarray({obj.dtype.str},{obj.shape},{obj.tobytes().hex()})"
+    if isinstance(obj, np.generic):
+        return repr(obj.item())
+    if isinstance(obj, (list, tuple)):
+        inner = ",".join(_stable(x, depth + 1) for x in obj)
+        return f"{type(obj).__name__}[{inner}]"
+    if isinstance(obj, (set, frozenset)):
+        inner = ",".join(sorted(_stable(x, depth + 1) for x in obj))
+        return f"{type(obj).__name__}[{inner}]"
+    if isinstance(obj, dict):
+        inner = ",".join(
+            f"{_stable(k, depth + 1)}:{_stable(v, depth + 1)}"
+            for k, v in sorted(obj.items(), key=lambda kv: repr(kv[0]))
+        )
+        return f"dict[{inner}]"
+    if isinstance(obj, type):
+        return f"class:{obj.__module__}.{obj.__qualname__}"
+    if callable(obj) and hasattr(obj, "__qualname__"):
+        return f"callable:{getattr(obj, '__module__', '?')}.{obj.__qualname__}"
+    if is_dataclass(obj):
+        fields = {
+            f.name: getattr(obj, f.name) for f in dataclasses.fields(obj)
+        }
+        return f"{type(obj).__qualname__}({_stable(fields, depth + 1)})"
+    attrs = getattr(obj, "__dict__", None)
+    if attrs is not None:
+        public = {k: v for k, v in attrs.items() if not k.startswith("_")}
+        return f"{type(obj).__qualname__}({_stable(public, depth + 1)})"
+    return f"{type(obj).__qualname__}()"
+
+
+def describe_scheme(factory: Callable[[], PowerScheme]) -> str:
+    """Stable description of the scheme a factory builds: name + params.
+
+    Builds one throwaway instance and canonicalizes its class and public
+    attributes, so two factories producing identically-parameterized
+    schemes share cache entries and any parameter change is a cache miss.
+    """
+    scheme = factory()
+    return _stable(scheme)
+
+
+def cache_key(request: RunRequest) -> str:
+    """Content hash of everything that determines the run's outcome."""
+    scheme_desc = (
+        request.scheme_key
+        if request.scheme_key is not None
+        else describe_scheme(request.scheme_factory)
+    )
+    payload = "|".join(
+        (
+            f"v{CACHE_VERSION}",
+            _stable(request.config),
+            _stable(request.mix),
+            scheme_desc,
+            repr(float(request.budget_fraction)),
+            repr(int(request.seed)),
+            repr(int(request.n_gpm_intervals)),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# On-disk cache
+# ----------------------------------------------------------------------
+def resolve_cache_dir(
+    cache_dir: str | pathlib.Path | None,
+) -> pathlib.Path | None:
+    """Resolve a caller's cache-dir argument to a usable path (or None).
+
+    ``None`` disables caching.  The string ``"auto"`` selects
+    ``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` under the current
+    directory; setting ``REPRO_CACHE=0`` force-disables even ``"auto"``.
+    Anything else is used as the directory path directly.
+    """
+    if cache_dir is None:
+        return None
+    if cache_dir == "auto":
+        if os.environ.get(_CACHE_DISABLE_ENV, "1") == "0":
+            return None
+        return pathlib.Path(
+            os.environ.get(_CACHE_DIR_ENV, _DEFAULT_CACHE_DIR)
+        )
+    return pathlib.Path(cache_dir)
+
+
+def _entry_path(cache_dir: pathlib.Path, key: str) -> pathlib.Path:
+    return cache_dir / key[:2] / f"{key}.pkl"
+
+
+def _cache_load(
+    cache_dir: pathlib.Path, key: str
+) -> SimulationResult | None:
+    """Return the cached result for ``key``, or None.
+
+    A corrupt, truncated, or wrong-version entry is deleted and treated
+    as a miss — the cache must never turn into a crash.
+    """
+    path = _entry_path(cache_dir, key)
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except FileNotFoundError:
+        return None
+    except Exception:  # noqa: BLE001 - any corruption is a miss
+        payload = None
+    if (
+        isinstance(payload, dict)
+        and payload.get("version") == CACHE_VERSION
+        and payload.get("key") == key
+    ):
+        return payload["result"]
+    try:
+        path.unlink()
+    except OSError:
+        pass
+    return None
+
+
+def _cache_store(
+    cache_dir: pathlib.Path, key: str, result: SimulationResult
+) -> None:
+    """Atomically write ``result`` under ``key`` (best-effort).
+
+    The temp-file + ``os.replace`` dance makes concurrent writers safe:
+    readers only ever see complete entries, and the last writer of
+    identical content wins.  Storage failures are swallowed — caching is
+    an optimization, not a contract.
+    """
+    path = _entry_path(cache_dir, key)
+    payload = {"version": CACHE_VERSION, "key": key, "result": result}
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _execute(
+    request: RunRequest, cache_dir: str | pathlib.Path | None
+) -> SimulationResult:
+    """Run one request, consulting the cache (worker-side entry point)."""
+    directory = resolve_cache_dir(cache_dir)
+    key = cache_key(request) if directory is not None else None
+    if directory is not None and key is not None:
+        cached = _cache_load(directory, key)
+        if cached is not None:
+            return cached
+    sim = Simulation(
+        request.config,
+        request.scheme_factory(),
+        mix=request.mix,
+        budget_fraction=request.budget_fraction,
+        seed=request.seed,
+    )
+    result = sim.run(request.n_gpm_intervals)
+    if directory is not None and key is not None:
+        _cache_store(directory, key, result)
+    return result
+
+
+def run_one(
+    request: RunRequest, cache_dir: str | pathlib.Path | None = None
+) -> SimulationResult:
+    """Execute one request in this process, using the cache if enabled."""
+    return _execute(request, cache_dir)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None or 0 means "all cores"."""
+    if jobs is None or jobs == 0:
+        available = os.cpu_count() or 1
+        return max(1, available)
+    if jobs < 0:
+        raise ValueError("jobs must be non-negative")
+    return int(jobs)
+
+
+def _picklable(requests: Sequence[RunRequest]) -> bool:
+    try:
+        pickle.dumps(requests)
+        return True
+    except Exception:  # noqa: BLE001 - any pickling failure means serial
+        return False
+
+
+def run_many(
+    requests: Iterable[RunRequest],
+    jobs: int | None = 1,
+    cache_dir: str | pathlib.Path | None = None,
+) -> list[SimulationResult]:
+    """Execute independent runs, returning results in request order.
+
+    ``jobs`` is the number of worker processes (``None``/``0`` = all
+    cores, ``1`` = serial in-process).  Results are bit-identical across
+    ``jobs`` settings: each run's outcome is a pure function of its
+    request.  ``cache_dir`` enables the on-disk result cache (the string
+    ``"auto"`` resolves via :func:`resolve_cache_dir`); workers share it,
+    so duplicate requests in one sweep cost one simulation.
+
+    Requests that cannot be pickled (e.g. lambda scheme factories) are
+    executed serially with a warning rather than failing.
+
+    Cache hits are resolved in the calling process before any workers
+    start, so a fully-warm sweep never pays process-pool startup and a
+    partially-warm one only fans out the misses.
+    """
+    request_list = list(requests)
+    n_jobs = resolve_jobs(jobs)
+    results: list[SimulationResult | None] = [None] * len(request_list)
+    pending = list(range(len(request_list)))
+    directory = resolve_cache_dir(cache_dir)
+    if directory is not None:
+        pending = []
+        for i, request in enumerate(request_list):
+            cached = _cache_load(directory, cache_key(request))
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.append(i)
+    pending_requests = [request_list[i] for i in pending]
+    if (
+        n_jobs > 1
+        and len(pending_requests) > 1
+        and not _picklable(pending_requests)
+    ):
+        warnings.warn(
+            "run_many: requests are not picklable (lambda or local scheme "
+            "factory?); falling back to serial execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        n_jobs = 1
+    if n_jobs <= 1 or len(pending_requests) <= 1:
+        for i in pending:
+            results[i] = _execute(request_list[i], cache_dir)
+    else:
+        n_workers = min(n_jobs, len(pending_requests))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            # map() preserves input order regardless of completion order.
+            computed = pool.map(
+                _execute, pending_requests, [cache_dir] * len(pending_requests)
+            )
+            for i, result in zip(pending, computed):
+                results[i] = result
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
+def seed_stream(root_seed: int, n_runs: int, role: str = "runner") -> list[int]:
+    """``n_runs`` deterministic, distinct seeds derived from ``root_seed``.
+
+    Use for replicated runs of one configuration (e.g. seed-robustness
+    sweeps): the stream depends only on ``(root_seed, role)``, so adding
+    runs extends it without disturbing earlier seeds.
+    """
+    if n_runs < 0:
+        raise ValueError("n_runs must be non-negative")
+    return [role_seed(root_seed, f"{role}/run{i}") for i in range(n_runs)]

@@ -15,7 +15,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from .phases import Phase, PhaseMachine
+from .phases import Phase, PhaseBlock, PhaseMachine
 
 __all__ = [
     "BenchmarkInstance",
@@ -171,6 +171,14 @@ class BenchmarkInstance:
             l1_mpki=phase.l1_mpki,
             l2_mpki=phase.l2_mpki,
         )
+
+    def advance_block(self, n_intervals: int) -> PhaseBlock:
+        """Produce ``n_intervals`` consecutive workload states at once.
+
+        Bit-identical to ``n_intervals`` successive :meth:`advance` calls
+        (see :meth:`~repro.workloads.phases.PhaseMachine.advance_block`).
+        """
+        return self._machine.advance_block(n_intervals)
 
     def retire(self, instructions: float) -> None:
         """Account instructions executed during the last interval."""

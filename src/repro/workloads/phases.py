@@ -11,6 +11,14 @@ A :class:`PhaseMachine` holds a set of :class:`Phase` states with
 geometric dwell times; within a phase, the architectural activity factor
 wanders with an AR(1) process so consecutive PIC intervals are correlated
 but not constant.
+
+Workload evolution is independent of the control loop (phases and noise
+never observe frequencies or power), so the machine offers two exactly
+equivalent interfaces: per-interval :meth:`PhaseMachine.advance`, and the
+vectorized :meth:`PhaseMachine.advance_block` which produces a whole run's
+samples in one pass.  Each random *kind* (phase-transition coin, jump
+offset, noise innovation) draws from its own child stream, so the two
+paths consume the same draws in the same order and are bit-identical.
 """
 
 from __future__ import annotations
@@ -20,7 +28,12 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["Phase", "PhaseMachine", "PhaseState"]
+from ..rng import split
+
+__all__ = ["Phase", "PhaseBlock", "PhaseMachine", "PhaseState"]
+
+#: Lower clip bound on the noisy activity factor.
+_ALPHA_FLOOR = 0.05
 
 
 @dataclass(frozen=True)
@@ -53,6 +66,21 @@ class PhaseState:
     alpha: float  # phase alpha + AR(1) noise, clipped to (0, 1]
 
 
+@dataclass(frozen=True)
+class PhaseBlock:
+    """A batch of consecutive intervals, one array entry per interval."""
+
+    phase_index: np.ndarray
+    alpha: np.ndarray
+    cpi_base: np.ndarray
+    l1_mpki: np.ndarray
+    l2_mpki: np.ndarray
+
+    @property
+    def n_intervals(self) -> int:
+        return int(self.alpha.shape[0])
+
+
 class PhaseMachine:
     """Markov chain over phases plus AR(1) noise on the activity factor.
 
@@ -69,7 +97,10 @@ class PhaseMachine:
         AR(1) autocorrelation; 0 gives white noise, values near 1 give
         slowly-wandering activity.
     rng:
-        Generator owning this machine's randomness.
+        Generator owning this machine's randomness.  The initial phase is
+        drawn from it directly; the per-interval draws come from three
+        child streams split off it (see :func:`repro.rng.split`), one per
+        random kind, so batched and per-interval generation agree.
     """
 
     def __init__(
@@ -92,9 +123,14 @@ class PhaseMachine:
         self.transition_probability = 1.0 / mean_dwell_intervals
         self.noise_sigma = noise_sigma
         self.noise_rho = noise_rho
-        self._rng = rng
         self._current = int(rng.integers(len(self.phases)))
+        self._transition_rng, self._jump_rng, self._noise_rng = split(rng, 3)
         self._noise = 0.0
+        # Per-phase parameter lookup tables for the vectorized path.
+        self._phase_alpha = np.array([p.alpha for p in self.phases])
+        self._phase_cpi_base = np.array([p.cpi_base for p in self.phases])
+        self._phase_l1_mpki = np.array([p.l1_mpki for p in self.phases])
+        self._phase_l2_mpki = np.array([p.l2_mpki for p in self.phases])
 
     @property
     def current_phase_index(self) -> int:
@@ -102,13 +138,75 @@ class PhaseMachine:
 
     def advance(self) -> PhaseState:
         """Advance one interval; maybe transition phase, evolve noise."""
-        if len(self.phases) > 1 and self._rng.random() < self.transition_probability:
+        if (
+            len(self.phases) > 1
+            and self._transition_rng.random() < self.transition_probability
+        ):
             # Jump to a uniformly-chosen *different* phase.
-            offset = int(self._rng.integers(1, len(self.phases)))
+            offset = int(self._jump_rng.integers(1, len(self.phases)))
             self._current = (self._current + offset) % len(self.phases)
-        self._noise = self.noise_rho * self._noise + self._rng.normal(
+        self._noise = self.noise_rho * self._noise + self._noise_rng.normal(
             0.0, self.noise_sigma
         )
         phase = self.phases[self._current]
-        alpha = float(np.clip(phase.alpha + self._noise, 0.05, 1.0))
+        alpha = float(np.clip(phase.alpha + self._noise, _ALPHA_FLOOR, 1.0))
         return PhaseState(phase=phase, alpha=alpha)
+
+    def advance_block(self, n_intervals: int) -> PhaseBlock:
+        """Advance ``n_intervals`` intervals in one vectorized pass.
+
+        Consumes exactly the draws ``n_intervals`` successive
+        :meth:`advance` calls would (same streams, same order), so the
+        resulting samples are bit-identical to the per-interval path —
+        the batch is a faster implementation, not an approximation.
+        """
+        if n_intervals < 1:
+            raise ValueError("need at least one interval")
+        n = int(n_intervals)
+        n_phases = len(self.phases)
+        if n_phases > 1:
+            transition = self._transition_rng.random(n) < self.transition_probability
+            offsets = np.zeros(n, dtype=np.int64)
+            n_jumps = int(np.count_nonzero(transition))
+            if n_jumps:
+                offsets[transition] = self._jump_rng.integers(
+                    1, n_phases, size=n_jumps
+                )
+            indices = (self._current + np.cumsum(offsets)) % n_phases
+            self._current = int(indices[-1])
+        else:
+            indices = np.zeros(n, dtype=np.int64)
+        innovations = self._noise_rng.normal(0.0, self.noise_sigma, size=n)
+        noise = _ar1_scan(self.noise_rho, self._noise, innovations)
+        self._noise = float(noise[-1])
+        alpha = np.clip(self._phase_alpha[indices] + noise, _ALPHA_FLOOR, 1.0)
+        return PhaseBlock(
+            phase_index=indices,
+            alpha=alpha,
+            cpi_base=self._phase_cpi_base[indices],
+            l1_mpki=self._phase_l1_mpki[indices],
+            l2_mpki=self._phase_l2_mpki[indices],
+        )
+
+
+def _ar1_scan(rho: float, initial: float, innovations: np.ndarray) -> np.ndarray:
+    """``y[t] = rho * y[t-1] + e[t]`` with ``y[-1] = initial``.
+
+    Uses :func:`scipy.signal.lfilter` (a first-order IIR filter is exactly
+    this recurrence, and its direct-form-II-transposed update performs the
+    same multiply-add per step) with a pure-Python fallback.  Both paths
+    are bit-identical to the scalar recurrence in :meth:`PhaseMachine.advance`.
+    """
+    try:
+        from scipy.signal import lfilter
+    except ImportError:  # pragma: no cover - scipy is an install requirement
+        lfilter = None
+    if lfilter is None:  # pragma: no cover
+        out = np.empty_like(innovations)
+        value = initial
+        for t, e in enumerate(innovations):
+            value = rho * value + e
+            out[t] = value
+        return out
+    y, _ = lfilter([1.0], [1.0, -rho], innovations, zi=[rho * initial])
+    return np.asarray(y)

@@ -28,6 +28,7 @@ from ..config import CMPConfig
 from ..rng import DEFAULT_SEED, SeedSequenceFactory
 from .benchmark import BenchmarkInstance, WorkloadSample
 from .mixes import Mix, mix_for_config
+from .phases import PhaseBlock
 
 __all__ = ["RecordedWorkload", "ReplayInstance", "record"]
 
@@ -122,6 +123,21 @@ class ReplayInstance:
             l2_mpki=float(r.l2_mpki[t, self.core]),
         )
 
+    def advance_block(self, n_intervals: int) -> PhaseBlock:
+        """Replay ``n_intervals`` ticks at once (cycling like :meth:`advance`)."""
+        if n_intervals < 1:
+            raise ValueError("need at least one interval")
+        r = self.recording
+        t = (self._tick + np.arange(int(n_intervals))) % r.n_ticks
+        self._tick += int(n_intervals)
+        return PhaseBlock(
+            phase_index=np.zeros(int(n_intervals), dtype=np.int64),
+            alpha=r.alpha[t, self.core],
+            cpi_base=r.cpi_base[t, self.core],
+            l1_mpki=r.l1_mpki[t, self.core],
+            l2_mpki=r.l2_mpki[t, self.core],
+        )
+
     def retire(self, instructions: float) -> None:
         if instructions < 0:
             raise ValueError("cannot retire a negative instruction count")
@@ -150,13 +166,10 @@ def record(
         for i, spec in enumerate(specs)
     ]
     arrays = {name: np.empty((n_ticks, len(specs))) for name in _FIELDS}
-    for t in range(n_ticks):
-        for i, instance in enumerate(instances):
-            sample = instance.advance()
-            arrays["alpha"][t, i] = sample.alpha
-            arrays["cpi_base"][t, i] = sample.cpi_base
-            arrays["l1_mpki"][t, i] = sample.l1_mpki
-            arrays["l2_mpki"][t, i] = sample.l2_mpki
+    for i, instance in enumerate(instances):
+        block = instance.advance_block(n_ticks)
+        for name in _FIELDS:
+            arrays[name][:, i] = getattr(block, name)
     return RecordedWorkload(
         benchmarks=tuple(spec.name for spec in specs), **arrays
     )

@@ -52,7 +52,9 @@ class TestGainError:
         swing (the instability signature) grows sharply."""
         cal = default_calibration(DEFAULT_CONFIG)
         nominal = run_with_faults()
-        beyond = run_with_faults(GainError(multiplier=2.5 * cal.stability_limit))
+        # 3.5x the analytic limit: far enough past the margin that the
+        # limit cycle dominates the workload-noise dither at any seed.
+        beyond = run_with_faults(GainError(multiplier=3.5 * cal.stability_limit))
 
         def dither(run):
             chip = run.telemetry["chip_power_frac"][30:]

@@ -1,0 +1,181 @@
+"""Parallel runner: ordering, bit-identity, and the on-disk result cache."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.baselines.maxbips import MaxBIPSScheme
+from repro.baselines.no_management import NoManagementScheme
+from repro.cmpsim.simulator import Simulation
+from repro.config import DEFAULT_CONFIG
+from repro.core.cpm import CPMScheme
+from repro.runner import (
+    RunRequest,
+    cache_key,
+    describe_scheme,
+    resolve_cache_dir,
+    resolve_jobs,
+    run_many,
+    run_one,
+    seed_stream,
+)
+
+N_GPM = 3
+
+
+def request(**overrides):
+    defaults = dict(
+        config=DEFAULT_CONFIG,
+        scheme_factory=CPMScheme,
+        budget_fraction=0.8,
+        seed=7,
+        n_gpm_intervals=N_GPM,
+    )
+    defaults.update(overrides)
+    return RunRequest(**defaults)
+
+
+def assert_results_identical(a, b):
+    for name in a.telemetry._SERIES:
+        np.testing.assert_array_equal(
+            a.telemetry[name], b.telemetry[name],
+            err_msg=f"series {name!r} differs",
+        )
+    assert a.total_instructions == b.total_instructions
+
+
+class TestRunRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            request(budget_fraction=0.0)
+        with pytest.raises(ValueError):
+            request(budget_fraction=1.2)
+        with pytest.raises(ValueError):
+            request(n_gpm_intervals=0)
+
+    def test_requests_pickle(self):
+        restored = pickle.loads(pickle.dumps(request()))
+        assert restored.budget_fraction == 0.8
+        assert restored.scheme_factory is CPMScheme
+
+
+class TestRunOne:
+    def test_matches_direct_simulation(self):
+        direct = Simulation(
+            DEFAULT_CONFIG, CPMScheme(), budget_fraction=0.8, seed=7
+        ).run(N_GPM)
+        assert_results_identical(run_one(request()), direct)
+
+
+class TestRunMany:
+    def test_parallel_bit_identical_to_serial_and_ordered(self):
+        requests = [request(budget_fraction=b) for b in (0.75, 0.85, 0.95)]
+        serial = run_many(requests, jobs=1)
+        parallel = run_many(requests, jobs=2)
+        for s, p in zip(serial, parallel):
+            assert_results_identical(s, p)
+        # Results come back in request order regardless of worker timing.
+        powers = [r.mean_chip_power_frac for r in parallel]
+        assert powers == sorted(powers)
+
+    def test_mixed_schemes_keep_order(self):
+        requests = [
+            request(scheme_factory=f)
+            for f in (CPMScheme, MaxBIPSScheme, NoManagementScheme)
+        ]
+        names = [r.scheme_name for r in run_many(requests, jobs=2)]
+        assert names == ["cpm", "maxbips", "no-management"]
+
+    def test_unpicklable_factory_falls_back_to_serial(self):
+        requests = [
+            request(scheme_factory=lambda: CPMScheme(), budget_fraction=b)
+            for b in (0.8, 0.9)
+        ]
+        with pytest.warns(RuntimeWarning, match="serial"):
+            results = run_many(requests, jobs=2)
+        assert len(results) == 2
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestCacheKey:
+    def test_stable_across_equal_requests(self):
+        assert cache_key(request()) == cache_key(request())
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(budget_fraction=0.9),
+            dict(seed=8),
+            dict(n_gpm_intervals=N_GPM + 1),
+            dict(scheme_factory=MaxBIPSScheme),
+            dict(config=DEFAULT_CONFIG.with_islands(16, 4)),
+        ],
+    )
+    def test_any_field_change_changes_key(self, change):
+        assert cache_key(request(**change)) != cache_key(request())
+
+    def test_scheme_params_enter_the_key(self):
+        loose = describe_scheme(lambda: CPMScheme(max_step_ghz=1.0))
+        tight = describe_scheme(lambda: CPMScheme(max_step_ghz=0.5))
+        assert loose != tight
+
+
+class TestDiskCache:
+    def test_miss_then_hit(self, tmp_path):
+        first = run_one(request(), cache_dir=tmp_path)
+        entries = list(tmp_path.rglob("*.pkl"))
+        assert len(entries) == 1
+        second = run_one(request(), cache_dir=tmp_path)
+        assert_results_identical(first, second)
+
+    def test_different_requests_do_not_collide(self, tmp_path):
+        run_one(request(), cache_dir=tmp_path)
+        other = run_one(request(budget_fraction=0.9), cache_dir=tmp_path)
+        assert len(list(tmp_path.rglob("*.pkl"))) == 2
+        assert other.mean_chip_power_frac != pytest.approx(
+            run_one(request(), cache_dir=tmp_path).mean_chip_power_frac
+        )
+
+    def test_corrupt_entry_recomputed_not_crashed(self, tmp_path):
+        expected = run_one(request(), cache_dir=tmp_path)
+        (entry,) = tmp_path.rglob("*.pkl")
+        entry.write_bytes(b"not a pickle")
+        recovered = run_one(request(), cache_dir=tmp_path)
+        assert_results_identical(expected, recovered)
+        # The corrupt file was replaced by a fresh entry.
+        (entry,) = tmp_path.rglob("*.pkl")
+        with open(entry, "rb") as fh:
+            payload = pickle.load(fh)
+        assert payload["key"] == cache_key(request())
+
+    def test_cache_used_by_run_many_workers(self, tmp_path):
+        requests = [request(budget_fraction=b) for b in (0.8, 0.9)]
+        warm = run_many(requests, jobs=2, cache_dir=tmp_path)
+        assert len(list(tmp_path.rglob("*.pkl"))) == 2
+        cached = run_many(requests, jobs=2, cache_dir=tmp_path)
+        for w, c in zip(warm, cached):
+            assert_results_identical(w, c)
+
+    def test_resolve_cache_dir(self, tmp_path, monkeypatch):
+        assert resolve_cache_dir(None) is None
+        assert resolve_cache_dir(tmp_path) == tmp_path
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache_dir("auto") == tmp_path / "env"
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert resolve_cache_dir("auto") is None
+
+
+class TestSeedStream:
+    def test_deterministic_and_distinct(self):
+        a = seed_stream(7, 5)
+        assert a == seed_stream(7, 5)
+        assert len(set(a)) == 5
+        assert a != seed_stream(8, 5)
+        assert seed_stream(7, 5, role="other") != a

@@ -1,0 +1,145 @@
+"""Batched workload advancement is bit-identical to per-tick advancement."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.no_management import NoManagementScheme
+from repro.cmpsim.simulator import Simulation
+from repro.config import DEFAULT_CONFIG
+from repro.core.cpm import CPMScheme
+from repro.rng import SeedSequenceFactory
+from repro.workloads.benchmark import make_instances
+from repro.workloads.mixes import MIX1
+from repro.workloads.phases import Phase, PhaseMachine
+from repro.workloads.recorded import record
+
+PHASES = (
+    Phase(alpha=0.9, cpi_base=0.8, l1_mpki=5.0, l2_mpki=0.5),
+    Phase(alpha=0.6, cpi_base=1.2, l1_mpki=30.0, l2_mpki=10.0),
+    Phase(alpha=0.3, cpi_base=2.0, l1_mpki=50.0, l2_mpki=20.0),
+)
+
+
+def machine(seed, phases=PHASES):
+    return PhaseMachine(
+        phases=phases,
+        mean_dwell_intervals=8.0,
+        noise_sigma=0.02,
+        noise_rho=0.8,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestPhaseMachineBlock:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_block_matches_serial(self, seed):
+        serial, batched = machine(seed), machine(seed)
+        states = [serial.advance() for _ in range(120)]
+        block = batched.advance_block(120)
+        np.testing.assert_array_equal(
+            block.phase_index, [PHASES.index(s.phase) for s in states]
+        )
+        np.testing.assert_array_equal(
+            block.alpha, [s.alpha for s in states]
+        )
+        for name in ("cpi_base", "l1_mpki", "l2_mpki"):
+            np.testing.assert_array_equal(
+                getattr(block, name), [getattr(s.phase, name) for s in states]
+            )
+
+    def test_split_blocks_match_one_block(self):
+        whole, split = machine(3), machine(3)
+        block = whole.advance_block(90)
+        parts = [split.advance_block(n) for n in (1, 29, 60)]
+        np.testing.assert_array_equal(
+            block.alpha, np.concatenate([p.alpha for p in parts])
+        )
+        np.testing.assert_array_equal(
+            block.phase_index,
+            np.concatenate([p.phase_index for p in parts]),
+        )
+
+    def test_block_then_serial_continues_stream(self):
+        a, b = machine(5), machine(5)
+        a.advance_block(40)
+        [b.advance() for _ in range(40)]
+        assert a.advance() == b.advance()
+
+    def test_single_phase_machine(self):
+        single = (PHASES[0],)
+        serial, batched = machine(9, single), machine(9, single)
+        states = [serial.advance() for _ in range(50)]
+        block = batched.advance_block(50)
+        assert set(block.phase_index) == {0}
+        np.testing.assert_array_equal(block.alpha, [s.alpha for s in states])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            machine(0).advance_block(0)
+
+    def test_n_intervals(self):
+        assert machine(0).advance_block(17).n_intervals == 17
+
+
+class TestBenchmarkInstanceBlock:
+    def test_delegates_to_machine(self):
+        serial = make_instances(MIX1.specs(), SeedSequenceFactory(4))
+        batched = make_instances(MIX1.specs(), SeedSequenceFactory(4))
+        for s, b in zip(serial, batched):
+            samples = [s.advance() for _ in range(60)]
+            block = b.advance_block(60)
+            for name in ("alpha", "cpi_base", "l1_mpki", "l2_mpki"):
+                np.testing.assert_array_equal(
+                    getattr(block, name),
+                    [getattr(sample, name) for sample in samples],
+                )
+
+
+class TestReplayBlock:
+    def test_wraps_like_serial(self):
+        rec = record(DEFAULT_CONFIG, n_ticks=10, seed=2)
+        for s, b in zip(rec.instances(), rec.instances()):
+            samples = [s.advance() for _ in range(25)]  # wraps past n_ticks
+            block = b.advance_block(25)
+            np.testing.assert_array_equal(
+                block.alpha, [sample.alpha for sample in samples]
+            )
+            np.testing.assert_array_equal(
+                block.l2_mpki, [sample.l2_mpki for sample in samples]
+            )
+
+
+class TestSimulationBatching:
+    @pytest.mark.parametrize("scheme_factory", [CPMScheme, NoManagementScheme])
+    def test_batched_run_bit_identical(self, scheme_factory):
+        serial = Simulation(
+            DEFAULT_CONFIG, scheme_factory(), budget_fraction=0.8, seed=13
+        ).run(6, batch_workloads=False)
+        batched = Simulation(
+            DEFAULT_CONFIG, scheme_factory(), budget_fraction=0.8, seed=13
+        ).run(6, batch_workloads=True)
+        for name in serial.telemetry._SERIES:
+            np.testing.assert_array_equal(
+                serial.telemetry[name],
+                batched.telemetry[name],
+                err_msg=f"series {name!r} differs",
+            )
+        assert serial.total_instructions == batched.total_instructions
+
+    def test_batched_retires_identical_instruction_counts(self):
+        serial = Simulation(DEFAULT_CONFIG, CPMScheme(), seed=13)
+        batched = Simulation(DEFAULT_CONFIG, CPMScheme(), seed=13)
+        serial.run(4, batch_workloads=False)
+        batched.run(4, batch_workloads=True)
+        for s, b in zip(serial.instances, batched.instances):
+            assert s.instructions_retired == b.instructions_retired
+
+    def test_auto_batching_matches_forced(self):
+        auto = Simulation(DEFAULT_CONFIG, CPMScheme(), seed=1).run(4)
+        forced = Simulation(DEFAULT_CONFIG, CPMScheme(), seed=1).run(
+            4, batch_workloads=True
+        )
+        np.testing.assert_array_equal(
+            auto.telemetry["chip_power_frac"],
+            forced.telemetry["chip_power_frac"],
+        )
