@@ -25,6 +25,18 @@ from ..arrayops import island_sums
 from ..config import CMPConfig
 from ..power.model import CorePowerModel
 from ..thermal.floorplan import Floorplan, grid_floorplan
+from ..unit_types import (
+    Bips,
+    BipsArray,
+    CelsiusArray,
+    GigaHz,
+    GigaHzArray,
+    PowerFraction,
+    PowerFractionArray,
+    Seconds,
+    Watts,
+    WattsArray,
+)
 from ..thermal.rc_model import RCThermalModel
 from ..variation.leakage_variation import (
     island_multipliers_to_cores,
@@ -41,24 +53,24 @@ __all__ = ["Chip", "IntervalResult"]
 class IntervalResult:
     """Everything measured over one simulation interval."""
 
-    dt: float
+    dt: Seconds
     #: Per-core arrays.
     core_busy: np.ndarray
     core_ips: np.ndarray
     core_instructions: np.ndarray
-    core_power_w: np.ndarray
+    core_power_w: WattsArray
     core_utilization: np.ndarray
-    core_temperature_c: np.ndarray
+    core_temperature_c: CelsiusArray
     #: Per-island arrays.
-    island_power_w: np.ndarray
-    island_power_frac: np.ndarray
-    island_bips: np.ndarray
+    island_power_w: WattsArray
+    island_power_frac: PowerFractionArray
+    island_bips: BipsArray
     island_utilization: np.ndarray
-    island_frequency_ghz: np.ndarray
+    island_frequency_ghz: GigaHzArray
     #: Chip scalars.
-    chip_power_w: float
-    chip_power_frac: float
-    chip_bips: float
+    chip_power_w: Watts
+    chip_power_frac: PowerFraction
+    chip_bips: Bips
 
 
 class Chip:
@@ -150,7 +162,7 @@ class Chip:
         )
 
     @property
-    def uncore_fraction(self) -> float:
+    def uncore_fraction(self) -> PowerFraction:
         """Uncore power as a fraction of max chip power (always drawn)."""
         return self.uncore_power_w / self.max_power_w
 
@@ -169,7 +181,7 @@ class Chip:
     # ------------------------------------------------------------------
     # Actuation
     # ------------------------------------------------------------------
-    def set_island_frequency(self, island: int, frequency_ghz: float) -> float:
+    def set_island_frequency(self, island: int, frequency_ghz: GigaHz) -> GigaHz:
         """Apply a frequency request to an island; returns what was applied.
 
         The request is clamped to the ladder's range and, in quantized
@@ -184,7 +196,7 @@ class Chip:
         self.island_frequency[island] = f
         return float(f)
 
-    def core_frequencies(self) -> np.ndarray:
+    def core_frequencies(self) -> GigaHzArray:
         """Per-core frequency vector implied by island settings."""
         return self.island_frequency[self.island_of_core]
 
@@ -197,7 +209,7 @@ class Chip:
         cpi_base: np.ndarray,
         l1_mpki: np.ndarray,
         l2_mpki: np.ndarray,
-        dt: float,
+        dt: Seconds,
         transitioned_islands: np.ndarray | None = None,
     ) -> IntervalResult:
         """Evaluate one interval under the current island frequencies.

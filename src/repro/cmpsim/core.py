@@ -37,6 +37,7 @@ import numpy as np
 
 from .. import units
 from ..config import MemoryConfig
+from ..unit_types import GigaHz, GigaHzLike
 from ..workloads.benchmark import BenchmarkSpec
 
 __all__ = [
@@ -59,16 +60,16 @@ class CPIStackResult:
 
 def memory_cycles_per_instruction(
     l2_mpki: np.ndarray | float,
-    frequency_ghz: np.ndarray | float,
+    frequency_ghz: GigaHzLike,
     memory: MemoryConfig,
 ) -> np.ndarray | float:
     """Off-chip stall cycles per instruction at ``frequency_ghz``."""
-    latency_ns = memory.memory_latency_s * units.NS_PER_S
+    latency_ns = units.to_ns(memory.memory_latency_s)
     return np.asarray(l2_mpki) / 1000.0 * latency_ns * np.asarray(frequency_ghz)
 
 
 def cpi_stack(
-    frequency_ghz: np.ndarray | float,
+    frequency_ghz: GigaHzLike,
     alpha: np.ndarray | float,
     cpi_base: np.ndarray | float,
     l1_mpki: np.ndarray | float,
@@ -103,7 +104,7 @@ def cpi_stack(
 
 
 def utilization_reference(
-    spec: BenchmarkSpec, f_max: float, memory: MemoryConfig
+    spec: BenchmarkSpec, f_max: GigaHz, memory: MemoryConfig
 ) -> float:
     """The benchmark's peak IPS: full activity at ``f_max``, mean phase.
 
@@ -124,8 +125,8 @@ def utilization_reference(
 
 
 def frequency_speedup(
-    f_from: float,
-    f_to: float,
+    f_from: GigaHz,
+    f_to: GigaHz,
     cpi_onchip: float,
     mem_cpi_per_ghz: float,
 ) -> float:

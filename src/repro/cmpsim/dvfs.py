@@ -18,6 +18,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from ..config import PENTIUM_M_VF_TABLE
+from ..unit_types import GigaHz, GigaHzLike, VoltsLike
 
 __all__ = ["DVFSTable"]
 
@@ -44,18 +45,18 @@ class DVFSTable:
         self._f_max = float(freqs[-1])
 
     @property
-    def f_min(self) -> float:
+    def f_min(self) -> GigaHz:
         return self._f_min
 
     @property
-    def f_max(self) -> float:
+    def f_max(self) -> GigaHz:
         return self._f_max
 
     @property
     def n_points(self) -> int:
         return int(self.frequencies.size)
 
-    def clamp(self, frequency: float | np.ndarray) -> float | np.ndarray:
+    def clamp(self, frequency: GigaHzLike) -> GigaHzLike:
         """Restrict a requested frequency to the ladder's range."""
         if isinstance(frequency, (float, int)):
             # Hot path: the PIC clamps one scalar per island per interval,
@@ -63,7 +64,7 @@ class DVFSTable:
             return min(max(float(frequency), self._f_min), self._f_max)
         return np.clip(frequency, self._f_min, self._f_max)
 
-    def voltage_at(self, frequency: float | np.ndarray) -> float | np.ndarray:
+    def voltage_at(self, frequency: GigaHzLike) -> VoltsLike:
         """Supply voltage for ``frequency`` (piecewise-linear between points).
 
         Frequencies outside the ladder raise: actuation must clamp first,
@@ -82,13 +83,13 @@ class DVFSTable:
             return float(result)
         return result
 
-    def quantize(self, frequency: float) -> float:
+    def quantize(self, frequency: GigaHz) -> GigaHz:
         """Nearest discrete operating frequency."""
         f = self.clamp(frequency)
         index = int(np.argmin(np.abs(self.frequencies - f)))
         return float(self.frequencies[index])
 
-    def quantize_down(self, frequency: float) -> float:
+    def quantize_down(self, frequency: GigaHz) -> GigaHz:
         """Highest discrete frequency not exceeding ``frequency``.
 
         This is the conservative snap a budget-respecting scheme (MaxBIPS)
@@ -99,7 +100,7 @@ class DVFSTable:
         index = max(index, 0)
         return float(self.frequencies[index])
 
-    def index_of(self, frequency: float) -> int:
+    def index_of(self, frequency: GigaHz) -> int:
         """Table index of an exact operating frequency."""
         matches = np.flatnonzero(np.isclose(self.frequencies, frequency))
         if matches.size == 0:

@@ -23,6 +23,7 @@ from .. import units
 from ..arrayops import island_sums
 from ..config import CMPConfig
 from ..rng import DEFAULT_SEED, SeedSequenceFactory
+from ..unit_types import PowerFraction, Seconds
 from ..workloads.benchmark import BenchmarkInstance
 from ..workloads.mixes import Mix, mix_for_config
 from .chip import Chip, IntervalResult
@@ -55,8 +56,8 @@ class SimulationResult:
     config: CMPConfig
     mix_name: str
     scheme_name: str
-    budget_fraction: float
-    duration_s: float
+    budget_fraction: PowerFraction
+    duration_s: Seconds
     total_instructions: float
 
     @property
@@ -76,7 +77,7 @@ class Simulation:
         config: CMPConfig,
         scheme: PowerScheme,
         mix: Mix | None = None,
-        budget_fraction: float = 0.8,
+        budget_fraction: PowerFraction = 0.8,
         seed: int = DEFAULT_SEED,
         instances: list | None = None,
     ) -> None:
@@ -126,7 +127,7 @@ class Simulation:
         self.sensed_power = np.zeros(config.n_islands)
         self.last_result: IntervalResult | None = None
         self.tick = 0
-        self.time_s = 0.0
+        self.time_s: Seconds = 0.0
 
         # GPM-window accumulators.
         self._window_sums: dict[str, np.ndarray] | None = None
@@ -136,7 +137,7 @@ class Simulation:
     # Quantities schemes need
     # ------------------------------------------------------------------
     @property
-    def distributable_budget(self) -> float:
+    def distributable_budget(self) -> PowerFraction:
         """Budget available to islands: chip budget minus the uncore share."""
         return max(0.0, self.budget_fraction - self.chip.uncore_fraction)
 

@@ -13,6 +13,12 @@ from typing import Dict, List
 
 import numpy as np
 
+from ..unit_types import (
+    BipsArray,
+    JoulesArray,
+    PowerFractionArray,
+    Seconds,
+)
 from .chip import IntervalResult
 
 __all__ = ["Telemetry", "WindowStats"]
@@ -23,18 +29,18 @@ class WindowStats:
     """Aggregates over one completed GPM window (several PIC intervals)."""
 
     #: Mean per-island power over the window, fraction of max chip power.
-    island_power_frac: np.ndarray
+    island_power_frac: PowerFractionArray
     #: Mean per-island throughput over the window, BIPS.
-    island_bips: np.ndarray
+    island_bips: BipsArray
     #: Mean per-island utilization over the window.
     island_utilization: np.ndarray
     #: Island set-points in force during the window (fractions).
-    island_setpoints: np.ndarray
+    island_setpoints: PowerFractionArray
     #: Total energy consumed per island over the window, joules.
-    island_energy_j: np.ndarray
+    island_energy_j: JoulesArray
     #: Instructions retired per island over the window.
     island_instructions: np.ndarray
-    duration_s: float
+    duration_s: Seconds
 
 
 @dataclass
@@ -68,7 +74,7 @@ class Telemetry:
 
     def record(
         self,
-        time_s: float,
+        time_s: Seconds,
         result: IntervalResult,
         setpoints: np.ndarray,
         sensed: np.ndarray,

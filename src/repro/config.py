@@ -17,6 +17,7 @@ from dataclasses import dataclass, field, replace
 from typing import Sequence, Tuple
 
 from . import units
+from .unit_types import Celsius, GigaHz, Seconds, Watts
 
 __all__ = [
     "CMPConfig",
@@ -62,7 +63,7 @@ class CoreConfig:
     #: Chosen so a fully-active core at (2.0 GHz, 1.5 V) draws ~8 W dynamic.
     effective_capacitance: float = 1.78
     #: Nominal leakage power at reference voltage/temperature, watts.
-    nominal_leakage_w: float = 1.5
+    nominal_leakage_w: Watts = 1.5
     #: Effective switching activity during memory-stall cycles.  An
     #: out-of-order core stalled on memory is not quiet: the window is
     #: full, speculative wakeup/select and replay keep structures
@@ -99,7 +100,7 @@ class MemoryConfig:
     #: Main-memory latency in *seconds* (off-chip, fixed wall-clock time).
     #: 100 ns = 200 cycles at the 2 GHz nominal clock, matching Table I's
     #: "~200 cycles" memory access delay.
-    memory_latency_s: float = 100 * units.NANOSECONDS
+    memory_latency_s: Seconds = 100 * units.NANOSECONDS
 
     def __post_init__(self) -> None:
         if self.memory_latency_s <= 0:
@@ -134,11 +135,11 @@ class DVFSConfig:
             raise ValueError("vf_table must be sorted by strictly increasing frequency")
 
     @property
-    def f_min(self) -> float:
+    def f_min(self) -> GigaHz:
         return self.vf_table[0][0]
 
     @property
-    def f_max(self) -> float:
+    def f_max(self) -> GigaHz:
         return self.vf_table[-1][0]
 
 
@@ -147,9 +148,9 @@ class ControlConfig:
     """Invocation cadence and controller design targets."""
 
     #: GPM (tier 1) invocation interval, seconds.  Paper default: 5 ms.
-    gpm_interval_s: float = 5 * units.MILLISECONDS
+    gpm_interval_s: Seconds = 5 * units.MILLISECONDS
     #: PIC (tier 2) invocation interval, seconds.  Paper default: 0.5 ms.
-    pic_interval_s: float = 0.5 * units.MILLISECONDS
+    pic_interval_s: Seconds = 0.5 * units.MILLISECONDS
     #: Desired closed-loop poles for the pole-placement PID design.  The
     #: defaults give a settling time of ~5 controller invocations with a
     #: small overshoot, matching the behaviour the paper reports.
@@ -180,7 +181,7 @@ class ControlConfig:
 class ThermalConfig:
     """Lumped-RC thermal model parameters."""
 
-    ambient_c: float = 45.0
+    ambient_c: Celsius = 45.0
     #: Vertical thermal resistance core -> heat sink, K/W.
     vertical_resistance_k_per_w: float = 1.2
     #: Lateral thermal resistance between adjacent cores, K/W.
@@ -188,7 +189,7 @@ class ThermalConfig:
     #: Per-core thermal capacitance, J/K (time constant ~ R*C ~ 24 ms).
     heat_capacity_j_per_k: float = 0.02
     #: Junction temperature treated as a hotspot, Celsius.
-    hotspot_threshold_c: float = 85.0
+    hotspot_threshold_c: Celsius = 85.0
 
     def __post_init__(self) -> None:
         if self.vertical_resistance_k_per_w <= 0:

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..unit_types import PowerFraction
+
 __all__ = ["GainFit", "fit_system_gain", "predict_power", "prediction_error"]
 
 
@@ -62,7 +64,7 @@ def fit_system_gain(
 
 
 def predict_power(
-    initial_power: float,
+    initial_power: PowerFraction,
     frequency_deltas: np.ndarray | list[float],
     gain: float,
 ) -> np.ndarray:

@@ -36,6 +36,7 @@ from ..control.pid import PIDGains
 from ..control.pole_placement import design_pid, stability_gain_limit
 from ..power.transducer import LinearTransducer, fit_transducer
 from ..rng import DEFAULT_SEED, SeedSequenceFactory
+from ..unit_types import GigaHz
 from ..workloads.mixes import Mix, mix_for_config
 from ..workloads.parsec import PARSEC_BENCHMARKS
 
@@ -71,8 +72,8 @@ class WhiteNoiseDVFSScheme:
     def __init__(
         self,
         seed: int = DEFAULT_SEED,
-        step_sigma_ghz: float = 0.12,
-        center_ghz: float | None = None,
+        step_sigma_ghz: GigaHz = 0.12,
+        center_ghz: GigaHz | None = None,
         reversion: float = 0.12,
     ) -> None:
         if step_sigma_ghz <= 0:

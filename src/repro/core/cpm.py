@@ -28,6 +28,7 @@ from ..gpm.policy import GPMContext, ProvisioningPolicy
 from ..pic.actuator import DVFSActuator
 from ..pic.controller import PerIslandController
 from ..rng import DEFAULT_SEED
+from ..unit_types import GigaHz, PowerFraction
 from ..workloads.mixes import Mix
 from .calibration import Calibration, default_calibration
 
@@ -43,8 +44,8 @@ class CPMScheme:
         self,
         policy: ProvisioningPolicy | None = None,
         calibration: Calibration | None = None,
-        max_step_ghz: float = 1.0,
-        initial_frequency_ghz: float | None = None,
+        max_step_ghz: GigaHz = 1.0,
+        initial_frequency_ghz: GigaHz | None = None,
     ) -> None:
         self.policy = policy or PerformanceAwarePolicy()
         self.manager = GlobalPowerManager(self.policy)
@@ -155,7 +156,7 @@ def run_cpm(
     config: CMPConfig,
     mix: Mix | None = None,
     policy: ProvisioningPolicy | None = None,
-    budget_fraction: float = 0.8,
+    budget_fraction: PowerFraction = 0.8,
     n_gpm_intervals: int = 20,
     seed: int = DEFAULT_SEED,
     calibration: Calibration | None = None,

@@ -53,7 +53,7 @@ def run(seed: int = DEFAULT_SEED, quick: bool = False) -> ExperimentResult:
     result.add_row(
         "I",
         "memory latency",
-        f"{mem.memory_latency_s * units.NS_PER_S:.0f} ns "
+        f"{units.to_ns(mem.memory_latency_s):.0f} ns "
         f"(~{cycles_at(mem.memory_latency_s, nominal_f):.0f} cycles @ "
         f"{nominal_f} GHz)",
     )

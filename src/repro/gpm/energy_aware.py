@@ -25,6 +25,7 @@ import numpy as np
 
 from .. import units
 from ..cmpsim.core import frequency_speedup
+from ..unit_types import PowerFractionArray
 from .policy import GPMContext
 
 __all__ = ["EnergyAwarePolicy"]
@@ -99,7 +100,7 @@ class EnergyAwarePolicy:
                        0.05, 1.0)
         return demand, bips, busy
 
-    def provision(self, context: GPMContext) -> np.ndarray:
+    def provision(self, context: GPMContext) -> PowerFractionArray:
         if not context.windows:
             return context.equal_split()
         demand, bips, busy = self._estimates(context)

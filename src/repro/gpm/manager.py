@@ -15,6 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import units
+from ..unit_types import PowerFractionArray
 from .policy import GPMContext, ProvisioningPolicy, clamp_and_redistribute
 
 __all__ = ["GlobalPowerManager"]
@@ -40,7 +41,7 @@ class GlobalPowerManager:
         self.policy = policy
         self.demand_headroom = demand_headroom
 
-    def _demand_caps(self, context: GPMContext) -> np.ndarray:
+    def _demand_caps(self, context: GPMContext) -> PowerFractionArray:
         """Per-island effective upper bounds, tightened for islands that
         ran at the top of the ladder yet consumed below their set-point —
         those cannot use more budget, so granting it would only be wasted.
@@ -58,7 +59,7 @@ class GlobalPowerManager:
         )
         return np.maximum(caps, context.island_min)
 
-    def provision(self, context: GPMContext) -> np.ndarray:
+    def provision(self, context: GPMContext) -> PowerFractionArray:
         """Produce the final per-island set-points for the next window."""
         raw = np.asarray(self.policy.provision(context), dtype=float)
         if raw.shape != (context.n_islands,):

@@ -36,6 +36,7 @@ from __future__ import annotations
 import numpy as np
 
 from .. import units
+from ..unit_types import PowerFractionArray
 from .policy import GPMContext
 
 __all__ = ["PerformanceAwarePolicy"]
@@ -100,7 +101,7 @@ class PerformanceAwarePolicy:
         phi = bips_now / np.maximum(expected, units.EPS)  # Eq. 5
         return np.clip(phi, *self.phi_bounds)
 
-    def provision(self, context: GPMContext) -> np.ndarray:
+    def provision(self, context: GPMContext) -> PowerFractionArray:
         # Equation 4 needs two completed windows; until then, provision
         # equally (Eq. 6's initial condition).
         if self._shares is None or self._shares.shape != (context.n_islands,):

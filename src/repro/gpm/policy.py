@@ -16,6 +16,12 @@ from typing import Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from ..cmpsim.telemetry import WindowStats
+from ..unit_types import (
+    GigaHz,
+    GigaHzArray,
+    PowerFraction,
+    PowerFractionArray,
+)
 
 __all__ = [
     "GPMContext",
@@ -31,24 +37,24 @@ class GPMContext:
 
     #: Budget available to the islands (chip budget minus the uncore
     #: share), as a fraction of max chip power.
-    budget: float
+    budget: PowerFraction
     n_islands: int
     #: Completed GPM-window aggregates, oldest first.
     windows: Sequence[WindowStats]
     #: Static per-island feasible power range (fractions).
-    island_min: np.ndarray
-    island_max: np.ndarray
+    island_min: PowerFractionArray
+    island_max: PowerFractionArray
     #: Adjacent island pairs from the floorplan (thermal policies).
     adjacent_pairs: frozenset[tuple[int, int]]
     #: Per-island leakage multipliers (variation policies).
     island_leakage: np.ndarray
     #: Island frequencies during the last interval (None before any
     #: measurement) — lets the manager detect demand-limited islands.
-    island_frequency: np.ndarray | None = None
+    island_frequency: GigaHzArray | None = None
     #: Top of the DVFS ladder, GHz.
-    f_max: float = float("nan")
+    f_max: GigaHz = float("nan")
 
-    def equal_split(self) -> np.ndarray:
+    def equal_split(self) -> PowerFractionArray:
         """The initial provisioning: the budget divided equally."""
         return np.full(self.n_islands, self.budget / self.n_islands)
 
@@ -59,7 +65,7 @@ class ProvisioningPolicy(Protocol):
 
     name: str
 
-    def provision(self, context: GPMContext) -> np.ndarray:
+    def provision(self, context: GPMContext) -> PowerFractionArray:
         """Return per-island set-points summing to (at most) the budget."""
 
 
@@ -68,17 +74,17 @@ class UniformPolicy:
 
     name = "uniform"
 
-    def provision(self, context: GPMContext) -> np.ndarray:
+    def provision(self, context: GPMContext) -> PowerFractionArray:
         return context.equal_split()
 
 
 def clamp_and_redistribute(
-    shares: np.ndarray,
-    total: float,
-    lower: np.ndarray,
-    upper: np.ndarray,
+    shares: PowerFractionArray,
+    total: PowerFraction,
+    lower: PowerFractionArray,
+    upper: PowerFractionArray,
     max_rounds: int = 8,
-) -> np.ndarray:
+) -> PowerFractionArray:
     """Scale ``shares`` to sum to ``total`` while honouring per-island bounds.
 
     Water-filling: clamp everything into [lower, upper], then move the

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..thermal.hotspot import ThermalConstraints
+from ..unit_types import PowerFractionArray
 from .performance_aware import PerformanceAwarePolicy
 from .policy import GPMContext, ProvisioningPolicy, clamp_and_redistribute
 
@@ -87,7 +88,7 @@ class ThermalAwarePolicy:
             single_consecutive_limit=self.single_consecutive_limit,
         )
 
-    def provision(self, context: GPMContext) -> np.ndarray:
+    def provision(self, context: GPMContext) -> PowerFractionArray:
         proposal = np.asarray(self.base.provision(context), dtype=float).copy()
         # An over-asking base policy is capped at the budget here; the
         # manager skips redistribution for self-constrained policies, so

@@ -22,6 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from .. import units
+from ..cmpsim.telemetry import WindowStats
+from ..unit_types import PowerFractionArray
 from .policy import GPMContext, clamp_and_redistribute
 
 __all__ = ["VariationAwarePolicy"]
@@ -75,12 +77,12 @@ class VariationAwarePolicy:
         self._epi_state = None
 
     @staticmethod
-    def _epi(window) -> np.ndarray:
+    def _epi(window: WindowStats) -> np.ndarray:
         """Energy per instruction over a window, nJ/instruction."""
         instructions = np.maximum(window.island_instructions, 1.0)
-        return window.island_energy_j / instructions * units.NJ_PER_J
+        return units.to_nj(window.island_energy_j / instructions)
 
-    def provision(self, context: GPMContext) -> np.ndarray:
+    def provision(self, context: GPMContext) -> PowerFractionArray:
         n = context.n_islands
         equal = context.budget / n
         if self._levels is None:

@@ -21,17 +21,21 @@ the committed ``lint-baseline.json`` via ``--update-baseline``.  See
 from __future__ import annotations
 
 from .baseline import Baseline
-from .engine import LintReport, lint_paths, lint_source
+from .dimensions import DimensionAnalysis, analyze_sources
+from .engine import ALL_ANALYSES, LintReport, lint_paths, lint_source
 from .findings import Finding
 from .rules import LintRule, ModuleInfo, all_rules
 
 __all__ = [
+    "ALL_ANALYSES",
     "Baseline",
+    "DimensionAnalysis",
     "Finding",
     "LintReport",
     "LintRule",
     "ModuleInfo",
     "all_rules",
+    "analyze_sources",
     "lint_paths",
     "lint_source",
 ]

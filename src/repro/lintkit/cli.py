@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m repro.lintkit src/``.
+"""Command-line interface: ``python -m repro.lintkit src/`` (or ``repro-lint``).
 
 Exit codes: 0 — clean (no findings beyond the baseline); 1 — new
 findings; 2 — usage error (argparse) or unreadable path/baseline.
@@ -12,8 +12,10 @@ import sys
 from typing import Sequence
 
 from .baseline import Baseline
-from .engine import lint_paths
+from .dimensions import DIM_RULES
+from .engine import ALL_ANALYSES, lint_paths
 from .rules import all_rules
+from .sarif import render_sarif
 
 __all__ = ["DEFAULT_BASELINE", "build_parser", "main"]
 
@@ -25,8 +27,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.lintkit",
         description=(
             "AST-based invariant checker for the repro codebase: "
-            "determinism, unit discipline, config immutability, control "
-            "safety and API hygiene."
+            "determinism, unit discipline, dimensional analysis, config "
+            "immutability, control safety and API hygiene."
         ),
     )
     parser.add_argument(
@@ -36,10 +38,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src)",
     )
     parser.add_argument(
+        "--analysis",
+        choices=("all",) + ALL_ANALYSES,
+        default="all",
+        help=(
+            "which analysis to run: 'rules' — the per-module rule "
+            "catalogue; 'dimensions' — the interprocedural physical-unit "
+            "checker; 'all' — both (default)"
+        ),
+    )
+    parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format (default: text)",
+        help="output format (default: text; sarif renders as GitHub annotations)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--baseline",
@@ -69,7 +87,18 @@ def _list_rules() -> str:
     for rule in all_rules():
         lines.append(f"{rule.rule_id}  {rule.title}")
         lines.append(f"        {rule.rationale}")
+    for rule_id, title, rationale in DIM_RULES:
+        lines.append(f"{rule_id}  {title}")
+        lines.append(f"        {rationale}")
     return "\n".join(lines)
+
+
+def _emit(text: str, output: str | None) -> None:
+    if output is None:
+        print(text)
+    else:
+        with open(output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -87,8 +116,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: invalid baseline {args.baseline}: {exc}", file=sys.stderr)
         return 2
 
+    analyses = ALL_ANALYSES if args.analysis == "all" else (args.analysis,)
     try:
-        report = lint_paths(args.paths, baseline=baseline)
+        report = lint_paths(args.paths, baseline=baseline, analyses=analyses)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -102,7 +132,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.format == "json":
-        print(json.dumps(report.as_dict(), indent=2))
+        _emit(json.dumps(report.as_dict(), indent=2), args.output)
+    elif args.format == "sarif":
+        _emit(render_sarif(report), args.output)
     else:
-        print(report.render_text())
+        _emit(report.render_text(), args.output)
     return 0 if report.ok else 1

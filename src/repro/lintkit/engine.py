@@ -15,11 +15,13 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from .baseline import Baseline
+from .dimensions import DimensionAnalysis
 from .findings import Finding
 from .rules import LintRule, ModuleInfo, all_rules
 from .suppress import is_suppressed, suppressions_for
 
 __all__ = [
+    "ALL_ANALYSES",
     "LintReport",
     "PARSE_ERROR_ID",
     "display_path",
@@ -28,6 +30,10 @@ __all__ = [
     "lint_source",
     "load_module",
 ]
+
+#: Every analysis the engine can run: the per-module rule catalogue and
+#: the whole-program dimensional-analysis pass.
+ALL_ANALYSES: tuple[str, ...] = ("rules", "dimensions")
 
 #: Pseudo-rule id for files the parser rejects.
 PARSE_ERROR_ID = "E000"
@@ -109,10 +115,11 @@ def load_module(path: Path) -> ModuleInfo:
 
 
 def _check_module(
-    module: ModuleInfo, rules: Iterable[LintRule]
+    module: ModuleInfo,
+    rules: Iterable[LintRule],
+    suppressions: dict[int, set[str]],
 ) -> tuple[list[Finding], int]:
     """(active findings, inline-suppressed count) for one module."""
-    suppressions = suppressions_for(module.source)
     active: list[Finding] = []
     suppressed = 0
     for rule in rules:
@@ -139,7 +146,11 @@ def lint_source(
     module = ModuleInfo(
         path=path, source=source, tree=tree, lines=tuple(source.splitlines())
     )
-    findings, _ = _check_module(module, list(rules) if rules else all_rules())
+    findings, _ = _check_module(
+        module,
+        list(rules) if rules else all_rules(),
+        suppressions_for(module.source),
+    )
     return sorted(findings)
 
 
@@ -147,15 +158,25 @@ def lint_paths(
     paths: Sequence[str | Path],
     rules: Iterable[LintRule] | None = None,
     baseline: Baseline | None = None,
+    analyses: Sequence[str] = ALL_ANALYSES,
 ) -> LintReport:
-    """Lint every Python file under ``paths`` and return the report."""
+    """Lint every Python file under ``paths`` and return the report.
+
+    ``analyses`` selects what runs: ``"rules"`` — the per-module rule
+    catalogue; ``"dimensions"`` — the whole-program dimensional-analysis
+    pass (which needs every module parsed before any is checked).
+    """
+    unknown = set(analyses) - set(ALL_ANALYSES)
+    if unknown:
+        raise ValueError(f"unknown analyses: {sorted(unknown)}")
     rule_list = list(rules) if rules else all_rules()
     raw: list[Finding] = []
     suppressed_total = 0
     files = iter_python_files(paths)
+    modules: list[ModuleInfo] = []
     for file_path in files:
         try:
-            module = load_module(file_path)
+            modules.append(load_module(file_path))
         except SyntaxError as exc:
             raw.append(
                 Finding(
@@ -167,10 +188,24 @@ def lint_paths(
                     source_line=(exc.text or "").rstrip("\n"),
                 )
             )
-            continue
-        findings, suppressed = _check_module(module, rule_list)
-        raw.extend(findings)
-        suppressed_total += suppressed
+    suppression_maps = {m.path: suppressions_for(m.source) for m in modules}
+    if "rules" in analyses:
+        for module in modules:
+            findings, suppressed = _check_module(
+                module, rule_list, suppression_maps[module.path]
+            )
+            raw.extend(findings)
+            suppressed_total += suppressed
+    if "dimensions" in analyses:
+        for finding in DimensionAnalysis().run(modules):
+            if is_suppressed(
+                suppression_maps.get(finding.path, {}),
+                finding.line,
+                finding.rule_id,
+            ):
+                suppressed_total += 1
+            else:
+                raw.append(finding)
     raw.sort()
     new, old = (baseline or Baseline()).partition(raw)
     return LintReport(

@@ -9,6 +9,7 @@ when its command was cut short.
 from __future__ import annotations
 
 from ..cmpsim.dvfs import DVFSTable
+from ..unit_types import GigaHz
 
 __all__ = ["DVFSActuator"]
 
@@ -20,22 +21,22 @@ class DVFSActuator:
         self,
         table: DVFSTable,
         quantized: bool = False,
-        initial_frequency: float | None = None,
+        initial_frequency: GigaHz | None = None,
     ) -> None:
         self.table = table
         self.quantized = quantized
         f0 = table.f_max if initial_frequency is None else table.clamp(initial_frequency)
         if quantized:
             f0 = table.quantize(f0)
-        self.frequency = float(f0)
+        self.frequency: GigaHz = float(f0)
         #: +1 when the last command was clamped from above, -1 from below.
         self.last_saturation = 0
 
-    def apply_delta(self, delta_ghz: float) -> float:
+    def apply_delta(self, delta_ghz: GigaHz) -> GigaHz:
         """Shift the operating frequency by ``delta_ghz``; returns applied f."""
         return self.apply(self.frequency + delta_ghz)
 
-    def apply(self, frequency_ghz: float) -> float:
+    def apply(self, frequency_ghz: GigaHz) -> GigaHz:
         """Set an absolute frequency request; returns the applied value."""
         requested = frequency_ghz
         applied = self.table.clamp(requested)
@@ -50,7 +51,7 @@ class DVFSActuator:
         self.frequency = float(applied)
         return self.frequency
 
-    def reset(self, frequency_ghz: float | None = None) -> None:
+    def reset(self, frequency_ghz: GigaHz | None = None) -> None:
         """Return to an initial state (default: top of the ladder)."""
         f = self.table.f_max if frequency_ghz is None else frequency_ghz
         self.frequency = self.table.clamp(f)

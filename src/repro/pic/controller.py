@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from ..control.pid import DiscretePID, PIDGains
 from ..power.transducer import LinearTransducer
+from ..unit_types import GigaHz, PowerFraction
 from .actuator import DVFSActuator
 
 __all__ = ["PICInvocation", "PerIslandController"]
@@ -26,12 +27,12 @@ __all__ = ["PICInvocation", "PerIslandController"]
 class PICInvocation:
     """Telemetry of one controller invocation."""
 
-    setpoint: float
+    setpoint: PowerFraction
     utilization: float
-    sensed_power: float
-    error: float
-    frequency_delta: float
-    applied_frequency: float
+    sensed_power: PowerFraction
+    error: PowerFraction
+    frequency_delta: GigaHz
+    applied_frequency: GigaHz
 
 
 class PerIslandController:
@@ -42,7 +43,7 @@ class PerIslandController:
         gains: PIDGains,
         transducer: LinearTransducer,
         actuator: DVFSActuator,
-        max_step_ghz: float = 1.0,
+        max_step_ghz: GigaHz = 1.0,
         sensor_smoothing: float = 0.5,
     ) -> None:
         """
@@ -65,11 +66,11 @@ class PerIslandController:
         self._utilization_state: float | None = None
 
     @property
-    def frequency(self) -> float:
+    def frequency(self) -> GigaHz:
         """The island frequency this controller currently commands."""
         return self.actuator.frequency
 
-    def invoke(self, setpoint: float, utilization: float) -> PICInvocation:
+    def invoke(self, setpoint: PowerFraction, utilization: float) -> PICInvocation:
         """One ``T_local`` invocation; returns what happened.
 
         ``setpoint`` is the GPM-provisioned island power (fraction of max
@@ -98,7 +99,7 @@ class PerIslandController:
             applied_frequency=applied,
         )
 
-    def reset(self, frequency_ghz: float | None = None) -> None:
+    def reset(self, frequency_ghz: GigaHz | None = None) -> None:
         """Clear controller state and re-seat the actuator."""
         self.pid.reset()
         self.actuator.reset(frequency_ghz)

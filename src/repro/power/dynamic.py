@@ -32,6 +32,7 @@ from typing import Mapping, Tuple
 import numpy as np
 
 from .. import units
+from ..unit_types import GigaHz, GigaHzLike, Volts, VoltsLike, WattsLike
 from .clock_gating import LinearClockGating
 
 __all__ = ["DynamicPowerModel", "STRUCTURES", "StructureSpec"]
@@ -139,12 +140,12 @@ class DynamicPowerModel:
 
     def power(
         self,
-        voltage: float | np.ndarray,
-        frequency_ghz: float | np.ndarray,
+        voltage: VoltsLike,
+        frequency_ghz: GigaHzLike,
         busy: float | np.ndarray,
         alpha: float | np.ndarray = 1.0,
         check: bool = True,
-    ) -> float | np.ndarray:
+    ) -> WattsLike:
         """Dynamic power in watts.  Accepts scalars or aligned arrays.
 
         ``check=False`` skips input validation for callers that already
@@ -162,8 +163,8 @@ class DynamicPowerModel:
 
     def breakdown(
         self,
-        voltage: float,
-        frequency_ghz: float,
+        voltage: Volts,
+        frequency_ghz: GigaHz,
         busy: float,
         alpha: float = 1.0,
     ) -> Mapping[str, float]:

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..unit_types import Celsius, CelsiusLike, Volts, VoltsLike, Watts, WattsLike
+
 __all__ = [
     "DEFAULT_THERMAL_BETA",
     "DEFAULT_VOLTAGE_EXPONENT",
@@ -44,9 +46,9 @@ class LeakagePowerModel:
 
     def __init__(
         self,
-        nominal_leakage_w: float,
-        nominal_voltage: float = 1.5,
-        nominal_temperature_c: float = 60.0,
+        nominal_leakage_w: Watts,
+        nominal_voltage: Volts = 1.5,
+        nominal_temperature_c: Celsius = 60.0,
         thermal_beta: float = DEFAULT_THERMAL_BETA,
         voltage_exponent: float = DEFAULT_VOLTAGE_EXPONENT,
     ) -> None:
@@ -66,11 +68,11 @@ class LeakagePowerModel:
 
     def power(
         self,
-        voltage: float | np.ndarray,
-        temperature_c: float | np.ndarray = 60.0,
+        voltage: VoltsLike,
+        temperature_c: CelsiusLike = 60.0,
         process_multiplier: float | np.ndarray = 1.0,
         check: bool = True,
-    ) -> float | np.ndarray:
+    ) -> WattsLike:
         """Static power in watts.  Accepts scalars or aligned arrays.
 
         ``check=False`` skips input validation for callers that already

@@ -14,6 +14,16 @@ from typing import Mapping
 import numpy as np
 
 from ..config import CoreConfig
+from ..unit_types import (
+    Celsius,
+    CelsiusLike,
+    GigaHz,
+    GigaHzLike,
+    Volts,
+    VoltsLike,
+    Watts,
+    WattsLike,
+)
 from .clock_gating import LinearClockGating
 from .dynamic import DynamicPowerModel
 from .leakage import LeakagePowerModel
@@ -25,11 +35,11 @@ __all__ = ["CorePowerModel", "PowerBreakdown"]
 class PowerBreakdown:
     """Dynamic/static split of one power evaluation, in watts."""
 
-    dynamic_w: float
-    static_w: float
+    dynamic_w: Watts
+    static_w: Watts
 
     @property
-    def total_w(self) -> float:
+    def total_w(self) -> Watts:
         return self.dynamic_w + self.static_w
 
 
@@ -47,7 +57,7 @@ class CorePowerModel:
         self,
         core_config: CoreConfig | None = None,
         gating: LinearClockGating | None = None,
-        nominal_voltage: float = 1.5,
+        nominal_voltage: Volts = 1.5,
     ) -> None:
         cfg = core_config or CoreConfig()
         self.config = cfg
@@ -62,14 +72,14 @@ class CorePowerModel:
 
     def power(
         self,
-        voltage: float | np.ndarray,
-        frequency_ghz: float | np.ndarray,
+        voltage: VoltsLike,
+        frequency_ghz: GigaHzLike,
         busy: float | np.ndarray,
         alpha: float | np.ndarray = 1.0,
-        temperature_c: float | np.ndarray = 60.0,
+        temperature_c: CelsiusLike = 60.0,
         leakage_multiplier: float | np.ndarray = 1.0,
         check: bool = True,
-    ) -> float | np.ndarray:
+    ) -> WattsLike:
         """Total core power in watts; scalar or vectorized over cores.
 
         ``check=False`` forwards to both sub-models, skipping their input
@@ -83,11 +93,11 @@ class CorePowerModel:
 
     def breakdown(
         self,
-        voltage: float,
-        frequency_ghz: float,
+        voltage: Volts,
+        frequency_ghz: GigaHz,
         busy: float,
         alpha: float = 1.0,
-        temperature_c: float = 60.0,
+        temperature_c: Celsius = 60.0,
         leakage_multiplier: float = 1.0,
     ) -> PowerBreakdown:
         """Dynamic/static split at one scalar operating point."""
@@ -99,11 +109,11 @@ class CorePowerModel:
         )
 
     def structure_breakdown(
-        self, voltage: float, frequency_ghz: float, busy: float, alpha: float = 1.0
+        self, voltage: Volts, frequency_ghz: GigaHz, busy: float, alpha: float = 1.0
     ) -> Mapping[str, float]:
         """Per-structure dynamic power (delegates to the Wattch analogue)."""
         return self.dynamic.breakdown(voltage, frequency_ghz, busy, alpha)
 
-    def max_power(self, voltage: float, frequency_ghz: float) -> float:
+    def max_power(self, voltage: Volts, frequency_ghz: GigaHz) -> Watts:
         """Power of a fully-active core at (V, f): the per-core peak."""
         return float(self.power(voltage, frequency_ghz, busy=1.0, alpha=1.0))

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..unit_types import PowerFraction, PowerFractionLike
+
 __all__ = ["LinearTransducer", "fit_transducer"]
 
 
@@ -33,7 +35,7 @@ class LinearTransducer:
     r_squared: float = float("nan")
     n_samples: int = 0
 
-    def __call__(self, utilization: float | np.ndarray) -> float | np.ndarray:
+    def __call__(self, utilization: float | np.ndarray) -> PowerFractionLike:
         """Convert a utilization measurement to estimated power."""
         if isinstance(utilization, (float, int)):
             # Hot path: one scalar conversion per island per PIC interval.
@@ -43,7 +45,7 @@ class LinearTransducer:
             return float(result)
         return result
 
-    def invert(self, power: float) -> float:
+    def invert(self, power: PowerFraction) -> float:
         """Utilization that maps to ``power`` (used by tests/analyses)."""
         if self.k0 == 0.0:
             raise ZeroDivisionError("degenerate transducer with k0 == 0")

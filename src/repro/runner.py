@@ -42,6 +42,7 @@ import numpy as np
 from .cmpsim.simulator import PowerScheme, Simulation, SimulationResult
 from .config import CMPConfig
 from .rng import DEFAULT_SEED, role_seed
+from .unit_types import PowerFraction
 from .workloads.mixes import Mix
 
 __all__ = [
@@ -79,7 +80,7 @@ class RunRequest:
     config: CMPConfig
     scheme_factory: Callable[[], PowerScheme]
     mix: Mix | None = None
-    budget_fraction: float = 0.8
+    budget_fraction: PowerFraction = 0.8
     seed: int = DEFAULT_SEED
     n_gpm_intervals: int = 25
     #: Overrides the scheme identity in the cache key.  Set this when the

@@ -19,20 +19,22 @@ from typing import Dict, FrozenSet, Tuple
 
 import numpy as np
 
+from ..unit_types import Celsius, CelsiusArray
+
 __all__ = ["HotspotDetector", "ThermalConstraints", "ViolationTracker"]
 
 
 class HotspotDetector:
     """Counts intervals each core spends above the junction threshold."""
 
-    def __init__(self, n_cores: int, threshold_c: float) -> None:
+    def __init__(self, n_cores: int, threshold_c: Celsius) -> None:
         if n_cores < 1:
             raise ValueError("need at least one core")
         self.threshold_c = threshold_c
         self.hot_intervals = np.zeros(n_cores, dtype=np.int64)
         self.total_intervals = 0
 
-    def observe(self, temperatures_c: np.ndarray) -> np.ndarray:
+    def observe(self, temperatures_c: CelsiusArray) -> np.ndarray:
         """Record one interval; returns the boolean hot mask."""
         t = np.asarray(temperatures_c, dtype=float)
         if t.shape != self.hot_intervals.shape:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import ThermalConfig
+from ..unit_types import Celsius, CelsiusArray, Seconds, WattsArray
 from .floorplan import Floorplan
 
 __all__ = ["RCThermalModel"]
@@ -36,12 +37,12 @@ class RCThermalModel:
         self._degree = self._adjacency.sum(axis=1)
         self.temperatures = np.full(self.n_cores, self.config.ambient_c, dtype=float)
 
-    def reset(self, temperature_c: float | None = None) -> None:
+    def reset(self, temperature_c: Celsius | None = None) -> None:
         """Set every node to ``temperature_c`` (default: ambient)."""
         value = self.config.ambient_c if temperature_c is None else temperature_c
         self.temperatures.fill(value)
 
-    def step(self, core_power_w: np.ndarray, dt: float) -> np.ndarray:
+    def step(self, core_power_w: WattsArray, dt: Seconds) -> CelsiusArray:
         """Advance ``dt`` seconds under per-core power; returns temperatures."""
         p = np.asarray(core_power_w, dtype=float)
         if p.shape != (self.n_cores,):
@@ -63,7 +64,7 @@ class RCThermalModel:
         self.temperatures = t + dT
         return self.temperatures
 
-    def steady_state(self, core_power_w: np.ndarray) -> np.ndarray:
+    def steady_state(self, core_power_w: WattsArray) -> CelsiusArray:
         """Analytic equilibrium temperatures for constant per-core power.
 
         Solves the linear balance ``G (T - T_amb) = P`` where ``G`` is the

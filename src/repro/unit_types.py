@@ -1,0 +1,127 @@
+"""Machine-checkable physical-unit annotations (the DIM vocabulary).
+
+:mod:`repro.units` states the library's unit conventions as prose and
+named constants; this module turns them into *annotations* that the
+static dimensional-analysis pass (:mod:`repro.lintkit.dimensions`)
+verifies across call boundaries.  Each alias is an ordinary ``float`` (or
+``numpy.ndarray``) as far as the runtime and mypy are concerned —
+``Annotated`` metadata is invisible to both — but lintkit reads the
+:class:`Unit` marker and propagates it through assignments, arithmetic
+and calls::
+
+    from repro.unit_types import GigaHz, Seconds, Watts
+
+    def cycles_at(latency_seconds: Seconds, frequency_ghz: GigaHz) -> float:
+        ...
+
+Three spellings exist per quantity so signatures stay honest about their
+value shapes: the bare name annotates a scalar ``float``, ``*Like``
+annotates the scalar-or-array unions the vectorized models accept, and
+``*Array`` annotates values that are always ``numpy`` arrays.  All three
+carry the same :class:`Unit` symbol, so the checker treats them alike.
+
+The rule catalogue (DIM001–DIM005) and suppression guidance live in
+``docs/INVARIANTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Annotated
+
+import numpy as np
+
+__all__ = [
+    "Bips",
+    "BipsArray",
+    "BipsLike",
+    "Celsius",
+    "CelsiusArray",
+    "CelsiusLike",
+    "GigaHz",
+    "GigaHzArray",
+    "GigaHzLike",
+    "Hertz",
+    "Joules",
+    "JoulesArray",
+    "JoulesLike",
+    "Microseconds",
+    "Milliseconds",
+    "Nanojoules",
+    "Nanoseconds",
+    "PowerFraction",
+    "PowerFractionArray",
+    "PowerFractionLike",
+    "Seconds",
+    "SecondsArray",
+    "SecondsLike",
+    "Unit",
+    "Volts",
+    "VoltsArray",
+    "VoltsLike",
+    "Watts",
+    "WattsArray",
+    "WattsLike",
+]
+
+
+@dataclass(frozen=True)
+class Unit:
+    """Annotation marker naming the physical unit a value is expressed in.
+
+    ``symbol`` is the key into the dimension table in
+    :mod:`repro.lintkit.dimensions`; use one of the symbols below rather
+    than inventing new ones ad hoc, so the checker knows the quantity and
+    scale.
+    """
+
+    symbol: str
+
+
+# --- time ------------------------------------------------------------------
+Seconds = Annotated[float, Unit("s")]
+SecondsLike = Annotated[float | np.ndarray, Unit("s")]
+SecondsArray = Annotated[np.ndarray, Unit("s")]
+Milliseconds = Annotated[float, Unit("ms")]
+Microseconds = Annotated[float, Unit("us")]
+Nanoseconds = Annotated[float, Unit("ns")]
+
+# --- frequency -------------------------------------------------------------
+GigaHz = Annotated[float, Unit("GHz")]
+GigaHzLike = Annotated[float | np.ndarray, Unit("GHz")]
+GigaHzArray = Annotated[np.ndarray, Unit("GHz")]
+Hertz = Annotated[float, Unit("Hz")]
+
+# --- electrical ------------------------------------------------------------
+Volts = Annotated[float, Unit("V")]
+VoltsLike = Annotated[float | np.ndarray, Unit("V")]
+VoltsArray = Annotated[np.ndarray, Unit("V")]
+
+# --- power -----------------------------------------------------------------
+Watts = Annotated[float, Unit("W")]
+WattsLike = Annotated[float | np.ndarray, Unit("W")]
+WattsArray = Annotated[np.ndarray, Unit("W")]
+
+#: Power expressed as a *fraction of maximum chip power* — the paper's
+#: convention for budgets, set-points and reported power series.  A
+#: distinct quantity from absolute watts: mixing the two is exactly the
+#: bug class DIM003 exists to catch.
+PowerFraction = Annotated[float, Unit("frac")]
+PowerFractionLike = Annotated[float | np.ndarray, Unit("frac")]
+PowerFractionArray = Annotated[np.ndarray, Unit("frac")]
+
+# --- temperature -----------------------------------------------------------
+Celsius = Annotated[float, Unit("degC")]
+CelsiusLike = Annotated[float | np.ndarray, Unit("degC")]
+CelsiusArray = Annotated[np.ndarray, Unit("degC")]
+
+# --- energy ----------------------------------------------------------------
+Joules = Annotated[float, Unit("J")]
+JoulesLike = Annotated[float | np.ndarray, Unit("J")]
+JoulesArray = Annotated[np.ndarray, Unit("J")]
+Nanojoules = Annotated[float, Unit("nJ")]
+
+# --- throughput ------------------------------------------------------------
+Bips = Annotated[float, Unit("BIPS")]
+BipsLike = Annotated[float | np.ndarray, Unit("BIPS")]
+BipsArray = Annotated[np.ndarray, Unit("BIPS")]

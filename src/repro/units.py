@@ -22,11 +22,32 @@ Power *budgets*, *set-points* and every per-interval power series that an
 experiment reports follow the paper's convention of being expressed as a
 fraction of the maximum chip power (e.g. the default chip-wide budget is
 ``0.8``, i.e. "80% of maximum chip power").
+
+This table is machine-checked: each row has a matching annotation alias
+in :mod:`repro.unit_types` (``Seconds``, ``GigaHz``, ``Volts``,
+``Watts``/``PowerFraction``, ``Celsius``, ``Joules``, ``Bips``), and the
+``dimensions`` pass of :mod:`repro.lintkit` statically verifies that
+annotated values never cross scales or quantities without going through
+the helpers below.  The rule catalogue (DIM001–DIM005) is documented in
+``docs/INVARIANTS.md``.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .unit_types import (
+    BipsLike,
+    GigaHz,
+    Hertz,
+    Joules,
+    Microseconds,
+    Milliseconds,
+    Nanojoules,
+    Nanoseconds,
+    Seconds,
+    SecondsLike,
+)
 
 __all__ = [
     "EPS",
@@ -41,9 +62,13 @@ __all__ = [
     "approx_eq",
     "bips",
     "cycles_at",
+    "hz",
     "ms",
     "ns",
     "seconds_for_cycles",
+    "to_ms",
+    "to_nj",
+    "to_ns",
     "us",
 ]
 
@@ -77,22 +102,42 @@ def approx_eq(a: float, b: float, tol: float = EPS) -> bool:
     return abs(a - b) <= tol
 
 
-def ms(value: float) -> float:
+def ms(value: Milliseconds) -> Seconds:
     """Convert milliseconds to seconds."""
     return value * MILLISECONDS
 
 
-def us(value: float) -> float:
+def us(value: Microseconds) -> Seconds:
     """Convert microseconds to seconds."""
     return value * MICROSECONDS
 
 
-def ns(value: float) -> float:
+def ns(value: Nanoseconds) -> Seconds:
     """Convert nanoseconds to seconds."""
     return value * NANOSECONDS
 
 
-def cycles_at(latency_seconds: float, frequency_ghz: float) -> float:
+def to_ms(value: Seconds) -> Milliseconds:
+    """Convert seconds to milliseconds (displays, ms-quoted tables)."""
+    return value / MILLISECONDS
+
+
+def to_ns(value: Seconds) -> Nanoseconds:
+    """Convert seconds to nanoseconds (latency tables, cycle math)."""
+    return value * NS_PER_S
+
+
+def to_nj(value: Joules) -> Nanojoules:
+    """Convert joules to nanojoules (energy-per-instruction figures)."""
+    return value * NJ_PER_J
+
+
+def hz(frequency_ghz: GigaHz) -> Hertz:
+    """Convert a GHz clock rate to Hz (cycles per second)."""
+    return frequency_ghz * GHZ_TO_HZ
+
+
+def cycles_at(latency_seconds: Seconds, frequency_ghz: GigaHz) -> float:
     """Number of core cycles a fixed wall-clock latency occupies.
 
     This is the conversion at the heart of the memory-boundness effect: an
@@ -105,14 +150,14 @@ def cycles_at(latency_seconds: float, frequency_ghz: float) -> float:
     return latency_seconds * frequency_ghz * GHZ_TO_HZ
 
 
-def seconds_for_cycles(cycles: float, frequency_ghz: float) -> float:
+def seconds_for_cycles(cycles: float, frequency_ghz: GigaHz) -> Seconds:
     """Wall-clock time taken by ``cycles`` core cycles at ``frequency_ghz``."""
     if frequency_ghz <= 0.0:
         raise ValueError(f"frequency must be positive, got {frequency_ghz}")
     return cycles / (frequency_ghz * GHZ_TO_HZ)
 
 
-def bips(instructions, seconds):
+def bips(instructions, seconds: SecondsLike) -> BipsLike:
     """Throughput in billions of instructions per second.
 
     Vectorized: either argument may be a scalar or a numpy array (aligned

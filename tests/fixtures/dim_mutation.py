@@ -1,0 +1,39 @@
+"""Seeded unit-mistake fixture for the dimensional-analysis tests.
+
+Every mistake below is marked with an ``# expect: DIMxxx`` comment on the
+offending line; ``tests/test_lintkit_dimensions.py`` lints this file with
+the ``dimensions`` analysis and asserts the findings match the markers
+exactly — no more, no fewer.  This is the proof that the checker catches
+real mistakes, not just that the clean tree stays silent.
+
+The module is *not* part of the library (it lives under ``tests/``, which
+the CI lint run does not cover), so the seeded bugs never show up in the
+repository's own lint report.
+"""
+
+from __future__ import annotations
+
+from repro.unit_types import GigaHz, Milliseconds, PowerFraction, Seconds, Watts
+
+__all__ = ["misuse_budget", "schedule", "set_budget", "wait_ms"]
+
+
+def wait_ms(timeout: Milliseconds) -> Milliseconds:
+    """A sink that expects milliseconds (think: a hardware timer API)."""
+    return timeout
+
+
+def set_budget(budget: PowerFraction) -> PowerFraction:
+    """A sink that expects a fraction of max chip power."""
+    return budget
+
+
+def schedule(interval_s: Seconds, clock_ghz: GigaHz, draw_w: Watts) -> float:
+    nonsense = draw_w + clock_ghz  # expect: DIM001
+    wait_ms(interval_s)  # expect: DIM002
+    return float(nonsense)
+
+
+def misuse_budget(power_w: Watts, interval_s: Seconds) -> float:
+    set_budget(power_w)  # expect: DIM003
+    return interval_s * 1000.0  # expect: DIM005
