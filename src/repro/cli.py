@@ -7,6 +7,7 @@ Subcommands:
 * ``compare``    — CPM vs MaxBIPS vs no-management at one budget.
 * ``sweep``      — one scheme across a range of budgets.
 * ``experiment`` — run one (or all) paper experiments by name.
+* ``chaos``      — scheduled-fault resilience report (guarded vs not).
 
 Examples::
 
@@ -51,6 +52,7 @@ __all__ = [
     "SCHEMES",
     "build_parser",
     "cmd_calibrate",
+    "cmd_chaos",
     "cmd_compare",
     "cmd_experiment",
     "cmd_run",
@@ -250,6 +252,30 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .experiments.chaos import run as run_chaos
+
+    result = run_chaos(seed=args.seed, quick=args.quick)
+    print(result.render())
+    if args.out:
+        import json
+        import pathlib
+
+        payload = {
+            "experiment": result.experiment,
+            "description": result.description,
+            "headers": list(result.headers),
+            "rows": [[str(cell) for cell in row] for row in result.rows],
+            "notes": list(result.notes),
+        }
+        path = pathlib.Path(args.out)
+        if path.parent != pathlib.Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote report: {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -297,6 +323,15 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--jobs", type=_jobs_value, default=1,
                      help="worker processes (a count, or 'all')")
     exp.set_defaults(func=cmd_experiment)
+
+    chaos = sub.add_parser(
+        "chaos", help="scheduled-fault resilience report (guarded vs not)"
+    )
+    chaos.add_argument("--quick", action="store_true",
+                       help="shortened fault grid")
+    chaos.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    chaos.add_argument("--out", help="write the report as JSON")
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -21,7 +21,53 @@ from ..unit_types import (
 )
 from .chip import IntervalResult
 
-__all__ = ["Telemetry", "WindowStats"]
+__all__ = ["ResilienceEvent", "ResilienceLog", "Telemetry", "WindowStats"]
+
+
+@dataclass(frozen=True)
+class ResilienceEvent:
+    """One guard decision: a fault detected, a degradation, a recovery."""
+
+    tick: int
+    kind: str
+    island: int | None = None
+    detail: str = ""
+
+
+@dataclass
+class ResilienceLog:
+    """Append-only record of guard activity during one run.
+
+    The guards (sensor guard in ``repro.pic.guard``, GPM guard in
+    ``repro.gpm.guard``) write here so tests and the chaos harness can
+    assert on detection and recovery instead of inferring them from power
+    traces.  ``now`` is the simulator tick the owning scheme stamps
+    before invoking the guarded tier; guards never read a clock
+    themselves, so logging stays deterministic.
+    """
+
+    events: List[ResilienceEvent] = field(default_factory=list)
+    counts: Dict[str, int] = field(default_factory=dict)
+    now: int = 0
+
+    def count(self, kind: str, n: int = 1) -> None:
+        """Bump the counter for ``kind`` without recording an event."""
+        self.counts[kind] = self.counts.get(kind, 0) + n
+
+    def record(
+        self, kind: str, island: int | None = None, detail: str = ""
+    ) -> None:
+        """Record one event at the current tick (and count it)."""
+        self.events.append(
+            ResilienceEvent(tick=self.now, kind=kind, island=island, detail=detail)
+        )
+        self.count(kind)
+
+    def count_of(self, kind: str) -> int:
+        return self.counts.get(kind, 0)
+
+    def events_of(self, kind: str) -> List[ResilienceEvent]:
+        return [e for e in self.events if e.kind == kind]
 
 
 @dataclass(frozen=True)

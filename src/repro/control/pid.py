@@ -62,12 +62,33 @@ class DiscretePID:
         # controller exactly equal to its z-domain form (Equation 10).
         self._previous_error = 0.0
         self._saturated_sign = 0  # -1 clamped low, +1 clamped high, 0 free
+        self._frozen = False
 
     def reset(self) -> None:
         """Forget accumulated state (fresh controller)."""
         self._integral = 0.0
         self._previous_error = 0.0
         self._saturated_sign = 0
+        self._frozen = False
+
+    @property
+    def integrator_frozen(self) -> bool:
+        """Whether the accumulator is currently held (safe-mode anti-windup)."""
+        return self._frozen
+
+    def freeze_integrator(self) -> None:
+        """Hold the accumulator at its current value until unfrozen.
+
+        Used by the sensor guard's safe mode: while the measurement is
+        implausible the loop runs on a stale input, and integrating the
+        resulting phantom error would wind the accumulator up exactly
+        like actuator saturation does.  P and D terms keep operating.
+        """
+        self._frozen = True
+
+    def unfreeze_integrator(self) -> None:
+        """Resume integration (measurements are trustworthy again)."""
+        self._frozen = False
 
     @property
     def integral(self) -> float:
@@ -82,7 +103,7 @@ class DiscretePID:
         pushes_into_saturation = (
             self._saturated_sign > 0 and error > 0
         ) or (self._saturated_sign < 0 and error < 0)
-        if not pushes_into_saturation:
+        if not pushes_into_saturation and not self._frozen:
             self._integral += error
 
         derivative = error - self._previous_error

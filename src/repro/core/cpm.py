@@ -87,11 +87,11 @@ class CPMScheme:
             actuator = DVFSActuator(
                 sim.chip.dvfs, quantized=quantized, initial_frequency=f0
             )
-            controller = PerIslandController(
+            controller = self._make_controller(
+                island,
                 gains=cal.pid_gains,
                 transducer=cal.island_transducers[island],
                 actuator=actuator,
-                max_step_ghz=self.max_step_ghz,
             )
             self.controllers.append(controller)
             sim.chip.set_island_frequency(island, actuator.frequency)
@@ -120,6 +120,26 @@ class CPMScheme:
         # Initial provisioning: the budget split equally (paper: P_i(0)).
         sim.setpoints = np.full(
             sim.config.n_islands, sim.distributable_budget / sim.config.n_islands
+        )
+
+    def _make_controller(
+        self,
+        island: int,
+        gains,
+        transducer,
+        actuator: DVFSActuator,
+    ) -> PerIslandController:
+        """Build one island's controller; subclasses may substitute.
+
+        ``repro.resilience.GuardedCPMScheme`` overrides this to return a
+        sensor-guarded controller without re-implementing ``bind``.
+        """
+        del island  # the base controller is island-agnostic
+        return PerIslandController(
+            gains=gains,
+            transducer=transducer,
+            actuator=actuator,
+            max_step_ghz=self.max_step_ghz,
         )
 
     # ------------------------------------------------------------------

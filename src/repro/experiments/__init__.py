@@ -35,4 +35,5 @@ ALL_EXPERIMENTS = (
     "fig18_thermal",
     "fig19_variation",
     "tables",
+    "chaos",
 )

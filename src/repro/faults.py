@@ -14,6 +14,19 @@ Faults wrap a :class:`~repro.core.cpm.CPMScheme` (or any scheme exposing
 
     scheme = CPMScheme()
     faulty = inject(scheme, BiasedTransducer(bias=+0.01), StuckSensor(...))
+
+Two fault families coexist:
+
+* **bind-time faults** (the originals) corrupt the paths for the whole
+  run — gain error, calibration bias, sensor noise;
+* **scheduled faults** carry a :class:`FaultWindow` and activate/clear at
+  scripted simulator ticks — transient sensor dropout, stuck-at
+  actuator, missed GPM invocations.  These drive the chaos harness
+  (``repro chaos``): a fault that *clears* is what lets recovery latency
+  be measured.
+
+The wrappers read ``sim.tick`` at call time, never a wall clock, so
+faulty runs stay bit-identical across ``jobs=N``.
 """
 
 from __future__ import annotations
@@ -28,11 +41,16 @@ from .rng import SeedSequenceFactory
 __all__ = [
     "BiasedTransducer",
     "Fault",
+    "FaultWindow",
     "FaultySchemeWrapper",
     "GainError",
     "LaggedActuator",
+    "MissedGPMFault",
     "NoisySensor",
+    "ScheduledStuckSensor",
+    "StuckActuatorFault",
     "StuckSensor",
+    "TransientSensorDropout",
     "inject",
 ]
 
@@ -42,6 +60,41 @@ class Fault:
 
     def apply(self, scheme, sim) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def suppresses_gpm(self, sim) -> bool:
+        """Whether the GPM invocation at the current tick should be lost.
+
+        Overridden by :class:`MissedGPMFault`; everything else returns
+        False.  Queried by :class:`FaultySchemeWrapper` on every GPM
+        tick.
+        """
+        del sim
+        return False
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Half-open tick interval ``[start, end)`` during which a fault is live.
+
+    Ticks are PIC intervals (``sim.tick``); multiply GPM intervals by
+    ``pics_per_gpm`` to schedule against the supervisor tier.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("start must be non-negative")
+        if self.end <= self.start:
+            raise ValueError("end must be after start")
+
+    def active(self, tick: int) -> bool:
+        return self.start <= tick < self.end
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
 
 
 @dataclass
@@ -140,6 +193,117 @@ class StuckSensor(Fault):
         controller.invoke = invoke
 
 
+def _controller_of(scheme, island: int):
+    if island >= len(scheme.controllers):
+        raise ValueError(
+            f"island {island} out of range ({len(scheme.controllers)} controllers)"
+        )
+    return scheme.controllers[island]
+
+
+@dataclass
+class TransientSensorDropout(Fault):
+    """One island's utilization reads NaN while the window is active.
+
+    The nastiest sensor failure: without a guard the NaN flows through
+    the EWMA smoother and poisons the PID state for the *rest of the
+    run*, not just the dropout — the fault clears but the controller
+    never does.
+    """
+
+    island: int
+    window: FaultWindow
+
+    def apply(self, scheme, sim) -> None:
+        controller = _controller_of(scheme, self.island)
+        original = controller.invoke
+
+        def invoke(setpoint, utilization, _orig=original, _sim=sim):
+            if self.window.active(_sim.tick):
+                utilization = float("nan")
+            return _orig(setpoint, utilization)
+
+        controller.invoke = invoke
+
+
+@dataclass
+class ScheduledStuckSensor(Fault):
+    """One island's utilization freezes at its last pre-fault value while
+    the window is active, then unsticks — the recoverable variant of
+    :class:`StuckSensor`."""
+
+    island: int
+    window: FaultWindow
+
+    def apply(self, scheme, sim) -> None:
+        controller = _controller_of(scheme, self.island)
+        original = controller.invoke
+        state: dict = {"held": None}
+
+        def invoke(setpoint, utilization, _orig=original, _sim=sim):
+            if self.window.active(_sim.tick):
+                if state["held"] is None:
+                    state["held"] = utilization
+                utilization = state["held"]
+            else:
+                state["held"] = None
+            return _orig(setpoint, utilization)
+
+        controller.invoke = invoke
+
+
+@dataclass
+class StuckActuatorFault(Fault):
+    """One island's DVFS knob ignores commands while the window is active.
+
+    The knob wedges at ``frequency_ghz`` (default: whatever it was when
+    the fault struck) — commands from the PID *and* from the sensor
+    guard's fail-safe clamp are both lost, exactly like a wedged voltage
+    regulator.  Only the GPM tier can contain this one, by provisioning
+    around the island; wedging at the top of the ladder is the scenario
+    that forces a quarantine.
+    """
+
+    island: int
+    window: FaultWindow
+    #: Frequency the knob wedges at; ``None`` holds the pre-fault value.
+    frequency_ghz: float | None = None
+
+    def apply(self, scheme, sim) -> None:
+        actuator = _controller_of(scheme, self.island).actuator
+        original = actuator.apply
+
+        def apply_stuck(frequency, _orig=original, _sim=sim, _act=actuator):
+            if self.window.active(_sim.tick):
+                wedged = (
+                    _act.frequency
+                    if self.frequency_ghz is None
+                    else self.frequency_ghz
+                )
+                return _orig(wedged)
+            return _orig(frequency)
+
+        actuator.apply = apply_stuck
+
+
+@dataclass
+class MissedGPMFault(Fault):
+    """GPM invocations are lost while the window is active.
+
+    Models a hung or preempted supervisor: the islands keep tracking
+    stale set-points until the GPM comes back.  Applied by
+    :class:`FaultySchemeWrapper` (nothing on the scheme is mutated).
+    """
+
+    window: FaultWindow
+
+    def apply(self, scheme, sim) -> None:
+        del scheme, sim  # enforced via suppresses_gpm, not mutation
+
+    def suppresses_gpm(self, sim) -> bool:
+        return self.window.active(sim.tick)
+
+
 @dataclass
 class LaggedActuator(Fault):
     """Frequency commands take effect one PIC interval late (an extra
@@ -160,19 +324,47 @@ class LaggedActuator(Fault):
 
 
 class FaultySchemeWrapper:
-    """A scheme decorator that applies faults after the inner bind."""
+    """A scheme decorator that applies faults after the inner bind.
+
+    Unknown attributes delegate to the inner scheme, so telemetry access
+    like ``wrapper.log`` or ``wrapper.controllers`` works unchanged.
+    Re-binding is safe: faults are only re-applied to controllers that
+    have not already been mutated, so a scheme that keeps its controller
+    objects across binds never gets a fault stacked twice.
+    """
+
+    #: Marker attribute set on every controller a fault pass has touched.
+    _MARK = "_faults_applied"
 
     def __init__(self, inner, faults: list[Fault]):
         self.inner = inner
         self.faults = list(faults)
         self.name = f"{inner.name}+faults"
 
+    def __getattr__(self, name):
+        # Bypass normal lookup for our own storage to avoid recursion
+        # while unpickling (inner is absent until __dict__ is restored).
+        inner = self.__dict__.get("inner")
+        if inner is None:
+            raise AttributeError(name)
+        return getattr(inner, name)
+
     def bind(self, sim) -> None:
         self.inner.bind(sim)
+        controllers = getattr(self.inner, "controllers", None) or []
+        if any(getattr(c, self._MARK, False) for c in controllers):
+            # Re-bind with surviving controller objects: the fault
+            # wrappers from the previous bind are still in place, and
+            # applying them again would stack (double noise, double lag).
+            return
         for fault in self.faults:
             fault.apply(self.inner, sim)
+        for controller in controllers:
+            setattr(controller, self._MARK, True)
 
     def on_gpm(self, sim) -> None:
+        if any(fault.suppresses_gpm(sim) for fault in self.faults):
+            return
         self.inner.on_gpm(sim)
 
     def on_pic(self, sim) -> None:

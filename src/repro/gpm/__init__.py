@@ -9,6 +9,7 @@ instruction search); a uniform policy serves as the ablation baseline.
 """
 
 from .energy_aware import EnergyAwarePolicy
+from .guard import GPMGuard, GPMGuardConfig
 from .manager import GlobalPowerManager
 from .performance_aware import PerformanceAwarePolicy
 from .policy import GPMContext, ProvisioningPolicy, UniformPolicy
@@ -18,6 +19,8 @@ from .variation_aware import VariationAwarePolicy
 __all__ = [
     "EnergyAwarePolicy",
     "GPMContext",
+    "GPMGuard",
+    "GPMGuardConfig",
     "GlobalPowerManager",
     "PerformanceAwarePolicy",
     "ProvisioningPolicy",

@@ -1,0 +1,279 @@
+"""GPM guard: provision conservation and graceful island degradation.
+
+The :class:`~repro.gpm.manager.GlobalPowerManager` already sanitizes a
+*policy's* output, but nothing above it defends against a *plant* that
+stops obeying: an island whose actuator sticks (or whose PIC is fed a
+lying sensor) keeps drawing more than its set-point no matter what the
+GPM provisions, and the chip silently busts its budget.  This guard
+closes that loop at the supervisor tier:
+
+* **quarantine** — an island whose *measured* window power exceeds its
+  set-point for ``strikes_to_quarantine`` consecutive windows is
+  quarantined: it is commanded to its feasible floor, its *apparent*
+  draw (measured power plus headroom) is reserved out of the budget, and
+  only the remainder is provisioned to the healthy islands.  Total chip
+  draw therefore stays within budget even though the bad island ignores
+  its cap — graceful degradation, paid for by the healthy islands;
+* **restore** — obedience is judged by *frequency*, not power (an island
+  pinned at the DVFS floor still draws workload-dependent power, so its
+  static idle floor is unreachable).  A quarantined island observed at
+  the ladder floor for ``windows_to_restore`` consecutive windows has
+  demonstrably resumed following commands and is released;
+* **reclaim** — an island pinned at the floor that consumes below its
+  set-point (a fail-safed sensor, a clamped thermal emergency) cannot
+  use its budget; the surplus is re-provisioned to healthy islands and
+  flows back automatically as the island's draw recovers;
+* **conservation** — whatever else happens, the enforced vector is
+  rescaled (and the event logged) if it would provision more than the
+  distributable budget.
+
+The reserve shrinks window by window as a misbehaving island's draw
+decays, so reclaimed budget returns to healthy islands immediately.  All
+decisions are pure functions of telemetry — no randomness, no clock —
+so guarded runs stay bit-identical across ``jobs=N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..cmpsim.telemetry import ResilienceLog, WindowStats
+from ..unit_types import GigaHz, GigaHzArray, PowerFraction, PowerFractionArray
+from ..units import EPS
+from .policy import clamp_and_redistribute
+
+__all__ = ["GPMGuard", "GPMGuardConfig"]
+
+#: Frequency slack (GHz) when deciding an island sits at the ladder floor.
+_FREQ_EPS = EPS
+
+
+@dataclass(frozen=True)
+class GPMGuardConfig:
+    """Thresholds for the supervisor-tier guard."""
+
+    #: Margin, as a fraction of the island's own maximum power, by which
+    #: a window's measured power may exceed its set-point before counting
+    #: a strike.  The PIC regulates *sensed* (transduced) power, so true
+    #: measured power legitimately sits a transducer error away from the
+    #: set-point — worst near the bottom of the operating range, where
+    #: the linear fit's bias reaches ~10% of island power.  The margin
+    #: must dominate that, or obedient islands regulating a low
+    #: set-point get quarantined on sensing bias alone.
+    violation_margin: float = 0.15
+    #: Consecutive violating windows before an island is quarantined.
+    strikes_to_quarantine: int = 2
+    #: Consecutive floor-obeying windows before quarantine is lifted.
+    windows_to_restore: int = 2
+    #: Relative headroom over a quarantined island's measured power kept
+    #: reserved for it (its draw dithers; reserving the exact mean would
+    #: leave half the dither outside the budget).
+    reserve_headroom: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.violation_margin <= 0:
+            raise ValueError("violation_margin must be positive")
+        if self.strikes_to_quarantine < 1:
+            raise ValueError("strikes_to_quarantine must be at least 1")
+        if self.windows_to_restore < 1:
+            raise ValueError("windows_to_restore must be at least 1")
+        if self.reserve_headroom < 0:
+            raise ValueError("reserve_headroom must be non-negative")
+
+
+class GPMGuard:
+    """Stateful supervisor-tier guard for one run (build at ``bind``).
+
+    With healthy telemetry :meth:`review` returns its input untouched —
+    the guard is transparent until something misbehaves.
+    """
+
+    def __init__(
+        self,
+        island_min: PowerFractionArray,
+        island_max: PowerFractionArray,
+        config: GPMGuardConfig | None = None,
+        log: ResilienceLog | None = None,
+        self_constrained: bool = False,
+    ) -> None:
+        self.config = config if config is not None else GPMGuardConfig()
+        self.log = log if log is not None else ResilienceLog()
+        self.island_min = np.asarray(island_min, dtype=float)
+        self.island_max = np.asarray(island_max, dtype=float)
+        if self.island_min.shape != self.island_max.shape:
+            raise ValueError("island bounds must have matching shapes")
+        #: Self-constrained policies (thermal-aware) encode couplings a
+        #: redistribution would undo; for those the guard only ever
+        #: shrinks set-points, never grows them.
+        self.self_constrained = self_constrained
+        n = self.island_min.size
+        self.quarantined = np.zeros(n, dtype=bool)
+        self._strikes = np.zeros(n, dtype=int)
+        self._compliant = np.zeros(n, dtype=int)
+        self._reserved = np.zeros(n, dtype=float)
+
+    @property
+    def n_islands(self) -> int:
+        return int(self.island_min.size)
+
+    # ------------------------------------------------------------------
+    def _reserve_for(self, measured: PowerFraction, island: int) -> float:
+        return float(
+            np.clip(
+                measured * (1.0 + self.config.reserve_headroom),
+                self.island_min[island],
+                self.island_max[island],
+            )
+        )
+
+    def _update_health(
+        self,
+        window: WindowStats,
+        island_frequency: GigaHzArray,
+        f_floor: GigaHz,
+    ) -> None:
+        """Advance the strike/compliance counters from one window."""
+        cfg = self.config
+        measured = window.island_power_frac
+        commanded = window.island_setpoints
+        margin = cfg.violation_margin * self.island_max
+        violating = measured > commanded + margin
+        at_floor = island_frequency <= f_floor + _FREQ_EPS
+        for i in range(self.n_islands):
+            if self.quarantined[i]:
+                # Obeying = at the ladder floor (nothing more it could
+                # do) or back within margin of its command (transducer
+                # bias can hold an obedient island's equilibrium above
+                # the floor, so the floor test alone is too strict).
+                obeying = at_floor[i] or not violating[i]
+                self._compliant[i] = self._compliant[i] + 1 if obeying else 0
+                if self._compliant[i] >= cfg.windows_to_restore:
+                    self.quarantined[i] = False
+                    self._strikes[i] = 0
+                    self._compliant[i] = 0
+                    self._reserved[i] = 0.0
+                    self.log.record("island_restored", island=i)
+                else:
+                    # Track the apparent draw so the reserve decays as
+                    # the island comes down.
+                    self._reserved[i] = self._reserve_for(measured[i], i)
+            elif violating[i] and not at_floor[i]:
+                # An island already at the DVFS floor is doing all it can
+                # — its draw above an idle-floor set-point is workload,
+                # not disobedience, so it never accrues strikes.
+                self.log.count("cap_violation_window")
+                self._strikes[i] += 1
+                if self._strikes[i] >= cfg.strikes_to_quarantine:
+                    self.quarantined[i] = True
+                    self._compliant[i] = 0
+                    self._reserved[i] = self._reserve_for(measured[i], i)
+                    self.log.record(
+                        "island_quarantined",
+                        island=i,
+                        detail=f"measured {measured[i]:.4f} > "
+                        f"setpoint {commanded[i]:.4f}",
+                    )
+            else:
+                self._strikes[i] = 0
+
+    # ------------------------------------------------------------------
+    def review(
+        self,
+        setpoints: PowerFractionArray,
+        windows: Sequence[WindowStats],
+        budget: PowerFraction,
+        island_frequency: GigaHzArray | None = None,
+        f_floor: GigaHz | None = None,
+    ) -> PowerFractionArray:
+        """Vet one provisioning decision; returns the vector to enforce.
+
+        ``island_frequency`` is the last interval's per-island frequency
+        and ``f_floor`` the DVFS ladder floor; without them (start of
+        run) the health bookkeeping is skipped.
+        """
+        out = np.array(setpoints, dtype=float, copy=True)
+        if out.shape != (self.n_islands,):
+            raise ValueError(
+                f"expected {self.n_islands} set-points, got shape {out.shape}"
+            )
+        window = windows[-1] if windows else None
+        telemetry_ok = (
+            window is not None
+            and island_frequency is not None
+            and f_floor is not None
+        )
+        if telemetry_ok:
+            self._update_health(window, island_frequency, f_floor)
+
+        # Underuse reclaim: an island pinned at the floor and consuming
+        # below its set-point cannot spend the budget it was given.
+        caps: np.ndarray | None = None
+        if telemetry_ok:
+            measured = window.island_power_frac
+            margin = self.config.violation_margin * self.island_max
+            reclaim = (
+                (island_frequency <= f_floor + _FREQ_EPS)
+                & (measured < window.island_setpoints - margin)
+                & ~self.quarantined
+            )
+            if bool(reclaim.any()):
+                caps = self.island_max.copy()
+                caps[reclaim] = np.clip(
+                    measured[reclaim] * (1.0 + self.config.reserve_headroom),
+                    self.island_min[reclaim],
+                    self.island_max[reclaim],
+                )
+                self.log.count("budget_reclaimed", int(reclaim.sum()))
+
+        bad = self.quarantined
+        if bool(bad.any()) or caps is not None:
+            if caps is None:
+                caps = self.island_max.copy()
+            total_in = float(out.sum())
+            out[bad] = self.island_min[bad]
+            caps[bad] = self.island_min[bad]
+            healthy = ~bad
+            available = max(0.0, budget - float(self._reserved[bad].sum()))
+            # Preserve a policy's deliberate underuse: never provision the
+            # healthy islands more than the policy's own total allowed.
+            target = min(available, total_in) - float(out[bad].sum())
+            target = max(target, 0.0)
+            if self.self_constrained:
+                # Shrink-only: growing redistributed shares could violate
+                # the couplings a self-constrained policy enforced.
+                out[healthy] = np.minimum(out[healthy], caps[healthy])
+                healthy_total = float(out[healthy].sum())
+                if healthy_total > target and healthy_total > 0.0:
+                    out[healthy] = np.maximum(
+                        out[healthy] * (target / healthy_total),
+                        self.island_min[healthy],
+                    )
+            else:
+                out[healthy] = clamp_and_redistribute(
+                    out[healthy],
+                    target,
+                    self.island_min[healthy],
+                    caps[healthy],
+                )
+
+        # Conservation backstop: whatever happened above, the enforced
+        # vector must never provision more than the budget.
+        total = float(out.sum())
+        if total > budget + EPS:
+            self.log.record(
+                "conservation_rescale",
+                detail=f"provisioned {total:.4f} > budget {budget:.4f}",
+            )
+            floor_total = float(self.island_min.sum())
+            if floor_total >= budget:
+                out = self.island_min.copy()
+            else:
+                excess = total - budget
+                footroom = out - self.island_min
+                movable = float(footroom.sum())
+                if movable > 0:
+                    out = out - footroom * min(1.0, excess / movable)
+        return out

@@ -2,8 +2,8 @@
 
 Rule ids are grouped by family — DET (determinism), UNIT (unit
 discipline), CFG (config discipline), CTL (control safety), API (API
-hygiene).  See ``docs/INVARIANTS.md`` for the full catalogue with
-rationale and suppression guidance.
+hygiene), ROB (robustness).  See ``docs/INVARIANTS.md`` for the full
+catalogue with rationale and suppression guidance.
 """
 
 from __future__ import annotations
@@ -13,6 +13,7 @@ from .base import LintRule, ModuleInfo
 from .config_rules import FrozenConfigRule, MutableDefaultRule
 from .control_rules import SilentExceptRule, UnboundedPIDRule
 from .determinism import RandomModuleImportRule, RngConstructionRule, WallClockRule
+from .robustness_rules import SwallowedExceptionRule
 from .units_rules import MagicUnitLiteralRule
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "RngConstructionRule",
     "SilentExceptRule",
     "StaleAllRule",
+    "SwallowedExceptionRule",
     "UnboundedPIDRule",
     "WallClockRule",
     "all_rules",
@@ -43,6 +45,7 @@ def all_rules() -> list[LintRule]:
         MutableDefaultRule(),
         UnboundedPIDRule(),
         SilentExceptRule(),
+        SwallowedExceptionRule(),
         DeclaredAllRule(),
         StaleAllRule(),
     ]

@@ -8,11 +8,14 @@ indirectly through the utilization transducer of Figure 6.
 
 from .actuator import DVFSActuator
 from .controller import PerIslandController, PICInvocation
+from .guard import GuardedPerIslandController, SensorGuardConfig
 from .sensor import CallbackSensor
 
 __all__ = [
     "CallbackSensor",
     "DVFSActuator",
+    "GuardedPerIslandController",
     "PerIslandController",
     "PICInvocation",
+    "SensorGuardConfig",
 ]

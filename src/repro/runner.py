@@ -29,12 +29,16 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import multiprocessing
 import os
 import pathlib
 import pickle
+import time
 import warnings
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, is_dataclass
+from multiprocessing import connection as mp_connection
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -47,6 +51,7 @@ from .workloads.mixes import Mix
 
 __all__ = [
     "CACHE_VERSION",
+    "RunFailure",
     "RunRequest",
     "cache_key",
     "describe_scheme",
@@ -218,7 +223,7 @@ def _cache_load(
             payload = pickle.load(fh)
     except FileNotFoundError:
         return None
-    except Exception:  # noqa: BLE001 - any corruption is a miss
+    except Exception:  # lint: ignore[ROB001] - corruption is just a miss
         payload = None
     if (
         isinstance(payload, dict)
@@ -245,14 +250,26 @@ def _cache_store(
     """
     path = _entry_path(cache_dir, key)
     payload = {"version": CACHE_VERSION, "key": key, "result": result}
+    tmp: pathlib.Path | None = None
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with open(tmp, "wb") as fh:
             pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            fh.flush()
+            # Make sure the bytes are durable before the rename publishes
+            # them: without the fsync a crash can promote a zero-length
+            # file to the final name on some filesystems.
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
     except OSError:
-        pass
+        # A failed write must not leave a stray temp file for every
+        # future listing to trip over.
+        if tmp is not None:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
 
 # ----------------------------------------------------------------------
@@ -302,14 +319,161 @@ def _picklable(requests: Sequence[RunRequest]) -> bool:
     try:
         pickle.dumps(requests)
         return True
-    except Exception:  # noqa: BLE001 - any pickling failure means serial
+    except Exception:  # lint: ignore[ROB001] - unpicklable means serial
         return False
+
+
+# ----------------------------------------------------------------------
+# Hardened execution: timeouts, retry, quarantine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunFailure:
+    """Why one request produced no result.
+
+    ``kind`` is ``"crash"`` (the worker process died), ``"timeout"``
+    (it exceeded ``timeout_s`` and was terminated) or ``"error"`` (the
+    simulation raised).  ``attempts`` counts executions including
+    retries.
+    """
+
+    index: int
+    kind: str
+    attempts: int
+    message: str = ""
+
+
+def _retry_backoff_s(attempt: int) -> float:
+    """Bounded exponential backoff before relaunching a crashed worker."""
+    return min(0.05 * (2.0 ** attempt), 0.5)
+
+
+def _supervised_worker(conn, request: RunRequest, cache_dir) -> None:
+    """Entry point of one supervised worker process."""
+    try:
+        result = _execute(request, cache_dir)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        try:
+            conn.send(("err", f"{type(exc).__name__}: {exc}"))
+        except Exception:  # lint: ignore[CTL002] - pipe gone; exit = crash
+            pass
+    finally:
+        conn.close()
+
+
+def _run_supervised(
+    request_list: Sequence[RunRequest],
+    pending: Sequence[int],
+    results: list,
+    cache_dir,
+    n_workers: int,
+    timeout_s: float | None,
+    retries: int,
+    on_error: str,
+    failures: list[RunFailure],
+) -> None:
+    """Fan ``pending`` over supervised worker processes.
+
+    Unlike the :class:`ProcessPoolExecutor` fast path this owns each
+    worker process directly, so a hung run can be ``terminate()``d on
+    deadline and a crashed one relaunched — an executor would poison the
+    whole pool instead (``BrokenProcessPool`` aborts every pending
+    future).  Fills ``results`` in place; appends a :class:`RunFailure`
+    per abandoned request.
+    """
+    ctx = multiprocessing.get_context()
+    queue = deque(pending)
+    attempts = {i: 0 for i in pending}
+    #: reader-connection -> (request index, process, deadline or None)
+    active: dict = {}
+
+    def launch(index: int) -> None:
+        reader, writer = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_supervised_worker,
+            args=(writer, request_list[index], cache_dir),
+            daemon=True,
+        )
+        proc.start()
+        writer.close()
+        attempts[index] += 1
+        deadline = None
+        if timeout_s is not None:
+            deadline = time.monotonic() + timeout_s  # lint: ignore[DET003]
+        active[reader] = (index, proc, deadline)
+
+    def reap(reader) -> None:
+        index, proc, _ = active.pop(reader)
+        proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - stuck in interpreter exit
+            proc.kill()
+            proc.join()
+        reader.close()
+
+    def settle(index: int, kind: str, message: str) -> None:
+        """A request failed for good, or goes back for another attempt."""
+        retryable = kind in ("crash", "timeout") and attempts[index] <= retries
+        if retryable:
+            time.sleep(_retry_backoff_s(attempts[index] - 1))
+            queue.append(index)
+            return
+        failure = RunFailure(
+            index=index, kind=kind, attempts=attempts[index], message=message
+        )
+        if on_error == "raise":
+            for other_reader, (_, proc, _) in list(active.items()):
+                proc.terminate()
+                reap(other_reader)
+            raise RuntimeError(
+                f"run_many: request {index} failed ({kind}) after "
+                f"{attempts[index]} attempt(s): {message or 'no detail'}"
+            )
+        failures.append(failure)
+
+    while queue or active:
+        while queue and len(active) < n_workers:
+            launch(queue.popleft())
+        if not active:
+            continue
+        wait_s = 0.1
+        if timeout_s is not None:
+            now = time.monotonic()  # lint: ignore[DET003]
+            soonest = min(d for (_, _, d) in active.values() if d is not None)
+            wait_s = max(0.0, min(wait_s, soonest - now))
+        ready = mp_connection.wait(list(active), timeout=wait_s)
+        for reader in ready:
+            index, proc, _ = active[reader]
+            try:
+                status, payload = reader.recv()
+            except (EOFError, OSError):
+                reap(reader)
+                settle(index, "crash", f"worker exited with {proc.exitcode}")
+                continue
+            reap(reader)
+            if status == "ok":
+                results[index] = payload
+            else:
+                settle(index, "error", str(payload))
+        if timeout_s is not None:
+            now = time.monotonic()  # lint: ignore[DET003]
+            for reader, (index, proc, deadline) in list(active.items()):
+                if deadline is not None and now >= deadline:
+                    proc.terminate()
+                    reap(reader)
+                    settle(
+                        index, "timeout", f"exceeded {timeout_s:g}s deadline"
+                    )
 
 
 def run_many(
     requests: Iterable[RunRequest],
     jobs: int | None = 1,
     cache_dir: str | pathlib.Path | None = None,
+    *,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    on_error: str = "raise",
+    failures: list[RunFailure] | None = None,
 ) -> list[SimulationResult]:
     """Execute independent runs, returning results in request order.
 
@@ -326,7 +490,34 @@ def run_many(
     Cache hits are resolved in the calling process before any workers
     start, so a fully-warm sweep never pays process-pool startup and a
     partially-warm one only fans out the misses.
+
+    Hardening (all off by default — the fast executor path is unchanged
+    when none are requested):
+
+    * ``timeout_s`` — per-run wall-clock deadline; a run past it is
+      terminated.  Needs worker processes, so it is not enforced on the
+      serial path (a warning is emitted if it would be ignored).
+    * ``retries`` — how many times a crashed or timed-out run is
+      relaunched (with bounded exponential backoff) before being given
+      up on.  Runs that merely *raise* are not retried: the simulator is
+      deterministic, so a clean exception would only repeat.
+    * ``on_error`` — ``"raise"`` (default) aborts the sweep on the first
+      abandoned request; ``"quarantine"`` records a
+      :class:`RunFailure` in ``failures``, leaves ``None`` in that
+      result slot, and keeps going, so one poisoned request no longer
+      costs the whole sweep.
     """
+    if on_error not in ("raise", "quarantine"):
+        raise ValueError(f"on_error must be 'raise' or 'quarantine', not {on_error!r}")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError("timeout_s must be positive")
+    if failures is None:
+        failures = []
+    hardened = (
+        timeout_s is not None or retries > 0 or on_error == "quarantine"
+    )
     request_list = list(requests)
     n_jobs = resolve_jobs(jobs)
     results: list[SimulationResult | None] = [None] * len(request_list)
@@ -353,9 +544,42 @@ def run_many(
             stacklevel=2,
         )
         n_jobs = 1
-    if n_jobs <= 1 or len(pending_requests) <= 1:
+    serial = n_jobs <= 1 or (len(pending_requests) <= 1 and not hardened)
+    if serial:
+        if timeout_s is not None:
+            warnings.warn(
+                "run_many: timeout_s requires jobs > 1; running serially "
+                "without a deadline",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         for i in pending:
-            results[i] = _execute(request_list[i], cache_dir)
+            if on_error == "quarantine":
+                try:
+                    results[i] = _execute(request_list[i], cache_dir)
+                except Exception as exc:  # noqa: BLE001 - quarantined
+                    failures.append(
+                        RunFailure(
+                            index=i,
+                            kind="error",
+                            attempts=1,
+                            message=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+            else:
+                results[i] = _execute(request_list[i], cache_dir)
+    elif hardened:
+        _run_supervised(
+            request_list,
+            pending,
+            results,
+            cache_dir,
+            min(n_jobs, len(pending_requests)),
+            timeout_s,
+            retries,
+            on_error,
+            failures,
+        )
     else:
         n_workers = min(n_jobs, len(pending_requests))
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
@@ -365,7 +589,7 @@ def run_many(
             )
             for i, result in zip(pending, computed):
                 results[i] = result
-    return results  # type: ignore[return-value]  # every slot is filled
+    return results  # type: ignore[return-value]  # filled unless quarantined
 
 
 def seed_stream(root_seed: int, n_runs: int, role: str = "runner") -> list[int]:

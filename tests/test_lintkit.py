@@ -27,6 +27,7 @@ from repro.lintkit.rules.determinism import (
     RngConstructionRule,
     WallClockRule,
 )
+from repro.lintkit.rules.robustness_rules import SwallowedExceptionRule
 from repro.lintkit.rules.units_rules import MagicUnitLiteralRule
 from repro.lintkit.suppress import parse_comment
 
@@ -406,6 +407,105 @@ class TestSilentExceptRule:
             except ValueError:
                 pass
             """,
+        )
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# ROB001 — broad handlers must surface the exception
+# ---------------------------------------------------------------------------
+
+
+class TestSwallowedExceptionRule:
+    def test_broad_handler_discarding_exception_fires(self):
+        findings = run_rule(
+            SwallowedExceptionRule(),
+            """
+            try:
+                step()
+            except Exception:
+                value = fallback()
+            """,
+        )
+        assert rule_ids(findings) == ["ROB001"]
+
+    def test_bound_but_unused_exception_fires(self):
+        findings = run_rule(
+            SwallowedExceptionRule(),
+            """
+            try:
+                step()
+            except Exception as exc:
+                value = fallback()
+            """,
+        )
+        assert rule_ids(findings) == ["ROB001"]
+
+    def test_broad_tuple_handler_fires(self):
+        findings = run_rule(
+            SwallowedExceptionRule(),
+            """
+            try:
+                step()
+            except (ValueError, Exception):
+                value = fallback()
+            """,
+        )
+        assert rule_ids(findings) == ["ROB001"]
+
+    def test_reraise_is_clean(self):
+        findings = run_rule(
+            SwallowedExceptionRule(),
+            """
+            try:
+                step()
+            except Exception:
+                cleanup()
+                raise
+            """,
+        )
+        assert findings == []
+
+    def test_using_bound_exception_is_clean(self):
+        findings = run_rule(
+            SwallowedExceptionRule(),
+            """
+            try:
+                step()
+            except Exception as exc:
+                failures.append(str(exc))
+            """,
+        )
+        assert findings == []
+
+    def test_narrow_handler_is_clean(self):
+        findings = run_rule(
+            SwallowedExceptionRule(),
+            """
+            try:
+                step()
+            except ValueError:
+                value = fallback()
+            """,
+        )
+        assert findings == []
+
+    def test_ctl002_cases_not_double_reported(self):
+        # Bare excepts and empty broad bodies belong to CTL002.
+        for snippet in (
+            "try:\n    step()\nexcept:\n    value = 1\n",
+            "try:\n    step()\nexcept Exception:\n    pass\n",
+        ):
+            assert run_rule(SwallowedExceptionRule(), snippet) == []
+
+    def test_inline_suppression_silences(self):
+        findings = lint_source(
+            "try:\n"
+            "    step()\n"
+            "except Exception:  # lint: ignore[ROB001] - deliberate\n"
+            "    value = fallback()\n",
+            path="mod.py",
+            rules=[SwallowedExceptionRule()],
         )
         assert findings == []
 

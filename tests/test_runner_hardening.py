@@ -1,0 +1,204 @@
+"""Hardened runner: timeouts, retry, quarantine, and cache durability.
+
+The misbehaving schemes live at module level so their factories pickle
+into worker processes.  Each is pathological in a different way: one
+kills its process outright (crash), one never returns (timeout), one
+raises a deterministic exception (error — never retried).
+"""
+
+import os
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.cpm import CPMScheme
+from repro.runner import (
+    RunFailure,
+    RunRequest,
+    cache_key,
+    run_many,
+    run_one,
+)
+from repro.runner import _cache_load, _cache_store, _retry_backoff_s
+
+SMALL = DEFAULT_CONFIG.with_islands(4, 2)
+N_GPM = 2
+
+
+class CrashingScheme(CPMScheme):
+    """Kills its worker process mid-run (simulates a segfault/OOM kill)."""
+
+    name = "crashing"
+
+    def on_gpm(self, sim):
+        if sim.tick > 0:
+            os._exit(17)
+        super().on_gpm(sim)
+
+
+class HangingScheme(CPMScheme):
+    """Never finishes; only a supervisor deadline can stop it."""
+
+    name = "hanging"
+
+    def on_gpm(self, sim):
+        if sim.tick > 0:
+            time.sleep(600)
+        super().on_gpm(sim)
+
+
+class RaisingScheme(CPMScheme):
+    """Raises a deterministic exception (retrying would only repeat it)."""
+
+    name = "raising"
+
+    def on_gpm(self, sim):
+        if sim.tick > 0:
+            raise ValueError("boom")
+        super().on_gpm(sim)
+
+
+def request(scheme_factory=CPMScheme, **overrides):
+    defaults = dict(
+        config=SMALL,
+        scheme_factory=scheme_factory,
+        budget_fraction=0.8,
+        seed=7,
+        n_gpm_intervals=N_GPM,
+    )
+    defaults.update(overrides)
+    return RunRequest(**defaults)
+
+
+def assert_results_identical(a, b):
+    for name in a.telemetry._SERIES:
+        np.testing.assert_array_equal(
+            a.telemetry[name], b.telemetry[name],
+            err_msg=f"series {name!r} differs",
+        )
+    assert a.total_instructions == b.total_instructions
+
+
+class TestArgumentValidation:
+    def test_bad_on_error_rejected(self):
+        with pytest.raises(ValueError):
+            run_many([request()], on_error="ignore")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            run_many([request()], retries=-1)
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            run_many([request()], timeout_s=0.0)
+
+    def test_serial_timeout_warns_and_runs(self):
+        with pytest.warns(RuntimeWarning, match="timeout_s requires"):
+            results = run_many([request()], jobs=1, timeout_s=5.0)
+        assert len(results) == 1 and results[0] is not None
+
+
+class TestBackoff:
+    def test_bounded_exponential(self):
+        delays = [_retry_backoff_s(a) for a in range(8)]
+        assert delays == sorted(delays)
+        assert delays[0] > 0
+        assert max(delays) <= 0.5
+
+
+@pytest.mark.slow
+class TestQuarantine:
+    def test_mixed_sweep_returns_all_healthy_results(self):
+        reqs = [
+            request(seed=1),
+            request(RaisingScheme, seed=2),
+            request(seed=3),
+            request(CrashingScheme, seed=4),
+            request(HangingScheme, seed=5),
+        ]
+        failures: list[RunFailure] = []
+        results = run_many(
+            reqs, jobs=3, timeout_s=3.0, on_error="quarantine",
+            failures=failures,
+        )
+        assert [r is not None for r in results] == [
+            True, False, True, False, False
+        ]
+        # Healthy slots are bit-identical to running them alone.
+        assert_results_identical(results[0], run_one(reqs[0]))
+        assert_results_identical(results[2], run_one(reqs[2]))
+        kinds = {f.index: f.kind for f in failures}
+        assert kinds == {1: "error", 3: "crash", 4: "timeout"}
+        crash = next(f for f in failures if f.kind == "crash")
+        assert "17" in crash.message  # exit code surfaced
+        error = next(f for f in failures if f.kind == "error")
+        assert "boom" in error.message
+
+    def test_crash_and_timeout_retried_error_not(self):
+        failures: list[RunFailure] = []
+        run_many(
+            [request(CrashingScheme), request(RaisingScheme)],
+            jobs=2, timeout_s=5.0, retries=1, on_error="quarantine",
+            failures=failures,
+        )
+        attempts = {f.kind: f.attempts for f in failures}
+        assert attempts["crash"] == 2  # retried once
+        assert attempts["error"] == 1  # deterministic raise: no retry
+
+    def test_on_error_raise_aborts(self):
+        with pytest.raises(RuntimeError, match="crash"):
+            run_many(
+                [request(CrashingScheme), request(seed=8)],
+                jobs=2, timeout_s=10.0, on_error="raise",
+            )
+
+    def test_serial_quarantine(self):
+        failures: list[RunFailure] = []
+        results = run_many(
+            [request(RaisingScheme), request(seed=6)],
+            jobs=1, on_error="quarantine", failures=failures,
+        )
+        assert results[0] is None and results[1] is not None
+        assert failures[0].kind == "error" and failures[0].index == 0
+
+    def test_supervised_healthy_sweep_bit_identical_to_serial(self):
+        reqs = [request(seed=s) for s in (21, 22, 23)]
+        serial = run_many(reqs, jobs=1)
+        supervised = run_many(reqs, jobs=2, timeout_s=60.0)
+        for a, b in zip(serial, supervised):
+            assert_results_identical(a, b)
+
+
+class TestCacheDurability:
+    def test_store_then_load_round_trips(self, tmp_path):
+        req = request(seed=31)
+        result = run_one(req)
+        key = cache_key(req)
+        _cache_store(tmp_path, key, result)
+        loaded = _cache_load(tmp_path, key)
+        assert loaded is not None
+        assert_results_identical(result, loaded)
+        assert not list(tmp_path.rglob("*.tmp.*"))
+
+    def test_failed_publish_leaves_no_temp_litter(self, tmp_path, monkeypatch):
+        req = request(seed=32)
+        result = run_one(req)
+
+        def deny_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", deny_replace)
+        _cache_store(tmp_path, cache_key(req), result)  # must not raise
+        # No entry and no temp litter (the shard directory may remain).
+        assert [p for p in tmp_path.rglob("*") if p.is_file()] == []
+
+    def test_torn_write_is_a_miss_not_a_crash(self, tmp_path):
+        req = request(seed=33)
+        key = cache_key(req)
+        _cache_store(tmp_path, key, run_one(req))
+        entry = next(p for p in tmp_path.rglob("*") if p.is_file())
+        entry.write_bytes(entry.read_bytes()[:40])  # truncate mid-pickle
+        assert _cache_load(tmp_path, key) is None
