@@ -6,6 +6,8 @@ and archived under ``benchmarks/results/``.
 
 from repro.experiments.ablations import run_energy_floor
 
+__all__ = ["test_run_energy_floor"]
+
 
 def test_run_energy_floor(run_experiment_bench):
     result = run_experiment_bench(run_energy_floor, "bench_ablation_energy_floor")

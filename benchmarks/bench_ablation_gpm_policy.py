@@ -6,6 +6,8 @@ and archived under ``benchmarks/results/``.
 
 from repro.experiments.ablations import run_gpm_policy
 
+__all__ = ["test_run_gpm_policy"]
+
 
 def test_run_gpm_policy(run_experiment_bench):
     result = run_experiment_bench(run_gpm_policy, "bench_ablation_gpm_policy")

@@ -6,6 +6,8 @@ and archived under ``benchmarks/results/``.
 
 from repro.experiments.ablations import run_maxbips_prediction
 
+__all__ = ["test_run_maxbips_prediction"]
+
 
 def test_run_maxbips_prediction(run_experiment_bench):
     result = run_experiment_bench(run_maxbips_prediction, "bench_ablation_maxbips_prediction")

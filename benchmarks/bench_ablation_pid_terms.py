@@ -6,6 +6,8 @@ and archived under ``benchmarks/results/``.
 
 from repro.experiments.ablations import run_pid_terms
 
+__all__ = ["test_run_pid_terms"]
+
 
 def test_run_pid_terms(run_experiment_bench):
     result = run_experiment_bench(run_pid_terms, "bench_ablation_pid_terms")

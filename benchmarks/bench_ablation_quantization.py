@@ -6,6 +6,8 @@ and archived under ``benchmarks/results/``.
 
 from repro.experiments.ablations import run_quantization
 
+__all__ = ["test_run_quantization"]
+
 
 def test_run_quantization(run_experiment_bench):
     result = run_experiment_bench(run_quantization, "bench_ablation_quantization")

@@ -6,6 +6,8 @@ and archived under ``benchmarks/results/``.
 
 from repro.experiments.ablations import run_transducer
 
+__all__ = ["test_run_transducer"]
+
 
 def test_run_transducer(run_experiment_bench):
     result = run_experiment_bench(run_transducer, "bench_ablation_transducer")

@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig04_controller_design import run
 
+__all__ = ["test_fig04_controller_design"]
+
 
 def test_fig04_controller_design(run_experiment_bench):
     result = run_experiment_bench(run, "fig04_controller_design")

@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig05_model_validation import run
 
+__all__ = ["test_fig05_model_validation"]
+
 
 def test_fig05_model_validation(run_experiment_bench):
     result = run_experiment_bench(run, "fig05_model_validation")

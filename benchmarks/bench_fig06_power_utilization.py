@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig06_power_utilization import run
 
+__all__ = ["test_fig06_power_utilization"]
+
 
 def test_fig06_power_utilization(run_experiment_bench):
     result = run_experiment_bench(run, "fig06_power_utilization")

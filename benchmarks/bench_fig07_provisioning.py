@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig07_provisioning import run
 
+__all__ = ["test_fig07_provisioning"]
+
 
 def test_fig07_provisioning(run_experiment_bench):
     result = run_experiment_bench(run, "fig07_provisioning")

@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig08_island_tracking import run
 
+__all__ = ["test_fig08_island_tracking"]
+
 
 def test_fig08_island_tracking(run_experiment_bench):
     result = run_experiment_bench(run, "fig08_island_tracking")

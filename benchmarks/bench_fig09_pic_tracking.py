@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig09_pic_tracking import run
 
+__all__ = ["test_fig09_pic_tracking"]
+
 
 def test_fig09_pic_tracking(run_experiment_bench):
     result = run_experiment_bench(run, "fig09_pic_tracking")

@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig10_chip_tracking import run
 
+__all__ = ["test_fig10_chip_tracking"]
+
 
 def test_fig10_chip_tracking(run_experiment_bench):
     result = run_experiment_bench(run, "fig10_chip_tracking")

@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig11_budget_curves import run
 
+__all__ = ["test_fig11_budget_curves"]
+
 
 def test_fig11_budget_curves(run_experiment_bench):
     result = run_experiment_bench(run, "fig11_budget_curves")

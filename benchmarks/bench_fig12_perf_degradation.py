@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig12_perf_degradation import run
 
+__all__ = ["test_fig12_perf_degradation"]
+
 
 def test_fig12_perf_degradation(run_experiment_bench):
     result = run_experiment_bench(run, "fig12_perf_degradation")

@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig13_island_size import run
 
+__all__ = ["test_fig13_island_size"]
+
 
 def test_fig13_island_size(run_experiment_bench):
     result = run_experiment_bench(run, "fig13_island_size")

@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig14_perf_time import run
 
+__all__ = ["test_fig14_perf_time"]
+
 
 def test_fig14_perf_time(run_experiment_bench):
     result = run_experiment_bench(run, "fig14_perf_time")

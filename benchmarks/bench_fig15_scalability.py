@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig15_scalability import run
 
+__all__ = ["test_fig15_scalability"]
+
 
 def test_fig15_scalability(run_experiment_bench):
     result = run_experiment_bench(run, "fig15_scalability")

@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig16_mix_sensitivity import run
 
+__all__ = ["test_fig16_mix_sensitivity"]
+
 
 def test_fig16_mix_sensitivity(run_experiment_bench):
     result = run_experiment_bench(run, "fig16_mix_sensitivity")

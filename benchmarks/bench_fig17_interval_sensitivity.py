@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig17_interval_sensitivity import run
 
+__all__ = ["test_fig17_interval_sensitivity"]
+
 
 def test_fig17_interval_sensitivity(run_experiment_bench):
     result = run_experiment_bench(run, "fig17_interval_sensitivity")

@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig18_thermal import run
 
+__all__ = ["test_fig18_thermal"]
+
 
 def test_fig18_thermal(run_experiment_bench):
     result = run_experiment_bench(run, "fig18_thermal")

@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.fig19_variation import run
 
+__all__ = ["test_fig19_variation"]
+
 
 def test_fig19_variation(run_experiment_bench):
     result = run_experiment_bench(run, "fig19_variation")

@@ -40,6 +40,15 @@ from repro.core.cpm import CPMScheme
 from repro.rng import DEFAULT_SEED
 from repro.runner import RunRequest, run_many
 
+__all__ = [
+    "CONFIGS",
+    "REPO_ROOT",
+    "SWEEP_BUDGETS",
+    "bench_configs",
+    "bench_sweep",
+    "main",
+]
+
 SWEEP_BUDGETS = (0.75, 0.80, 0.85, 0.90)
 CONFIGS = (
     ("8c4i", 8, 4),
@@ -52,9 +61,9 @@ def _time(fn, repeats: int) -> float:
     """Best-of-``repeats`` wall-clock seconds for ``fn()``."""
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = time.perf_counter()  # lint: ignore[DET003] benchmark harness measures wall time by design
         fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, time.perf_counter() - start)  # lint: ignore[DET003] benchmark harness measures wall time by design
     return best
 
 

@@ -6,6 +6,8 @@ series/rows are printed and archived under ``benchmarks/results/``.
 
 from repro.experiments.tables import run
 
+__all__ = ["test_tables"]
+
 
 def test_tables(run_experiment_bench):
     result = run_experiment_bench(run, "tables")

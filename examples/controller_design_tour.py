@@ -25,6 +25,8 @@ from repro.control.pole_placement import (
 from repro.core.calibration import default_calibration
 from repro.reporting import format_series
 
+__all__ = ["main", "poly_str"]
+
 
 def poly_str(coeffs) -> str:
     terms = []

@@ -22,6 +22,14 @@ from repro import DEFAULT_CONFIG, CPMScheme, PerformanceAwarePolicy, Simulation
 from repro.gpm.policy import GPMContext
 from repro.reporting import as_percent, format_table
 
+__all__ = [
+    "BUDGET",
+    "GUARANTEED_ISLAND",
+    "GUARANTEED_SHARE",
+    "QoSPriorityPolicy",
+    "main",
+]
+
 BUDGET = 0.78
 GUARANTEED_ISLAND = 0
 GUARANTEED_SHARE = 0.26  # of the distributable budget

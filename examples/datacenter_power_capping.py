@@ -19,6 +19,8 @@ import numpy as np
 from repro import DEFAULT_CONFIG, CPMScheme, Simulation
 from repro.reporting import as_percent, format_series, format_table
 
+__all__ = ["STAIRCASE", "main"]
+
 #: (budget fraction of max chip power, GPM intervals to hold it).
 STAIRCASE = [(1.00, 10), (0.85, 15), (0.72, 15), (0.90, 15)]
 

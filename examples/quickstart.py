@@ -21,6 +21,8 @@ from repro import (
 )
 from repro.reporting import as_percent, format_series
 
+__all__ = ["BUDGET", "HORIZON", "main"]
+
 BUDGET = 0.80
 HORIZON = 25  # GPM intervals of 5 ms each
 

@@ -23,6 +23,8 @@ from repro.io import save_run
 from repro.reporting import as_percent, format_table
 from repro.workloads import RecordedWorkload, record
 
+__all__ = ["BUDGET", "N_GPM", "SEED", "main"]
+
 BUDGET = 0.80
 N_GPM = 15
 SEED = 31337

@@ -26,6 +26,8 @@ from repro.reporting import as_percent, format_table
 from repro.thermal.hotspot import ThermalConstraints
 from repro.workloads.mixes import thermal_mix
 
+__all__ = ["BUDGET", "HORIZON", "main", "run_policy"]
+
 BUDGET = 0.80
 HORIZON = 25
 

@@ -151,7 +151,7 @@ class NoisySensor(Fault):
         for controller in scheme.controllers:
             original = controller.invoke
 
-            def invoke(setpoint, utilization, _orig=original):
+            def invoke(setpoint, utilization, _orig=original):  # lint: ignore[EFF004] one noise stream shared across controllers is the modelled fault: draws must interleave in invocation order
                 noisy = utilization + float(rng.normal(0.0, self.sigma))
                 return _orig(setpoint, max(noisy, 0.0))
 

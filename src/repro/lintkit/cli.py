@@ -13,6 +13,7 @@ from typing import Sequence
 
 from .baseline import Baseline
 from .dimensions import DIM_RULES
+from .effects import EFF_RULES
 from .engine import ALL_ANALYSES, lint_paths
 from .rules import all_rules
 from .sarif import render_sarif
@@ -44,7 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "which analysis to run: 'rules' — the per-module rule "
             "catalogue; 'dimensions' — the interprocedural physical-unit "
-            "checker; 'all' — both (default)"
+            "checker; 'effects' — the interprocedural effect/purity "
+            "analysis; 'all' — everything (default)"
         ),
     )
     parser.add_argument(
@@ -87,7 +89,7 @@ def _list_rules() -> str:
     for rule in all_rules():
         lines.append(f"{rule.rule_id}  {rule.title}")
         lines.append(f"        {rule.rationale}")
-    for rule_id, title, rationale in DIM_RULES:
+    for rule_id, title, rationale in DIM_RULES + EFF_RULES:
         lines.append(f"{rule_id}  {title}")
         lines.append(f"        {rationale}")
     return "\n".join(lines)

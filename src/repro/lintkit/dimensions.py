@@ -42,10 +42,13 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from pathlib import PurePosixPath
 from typing import Mapping, Sequence
 
 from .findings import Finding
+from .modgraph import dotted as _dotted
+from .modgraph import module_aliases as _module_aliases
+from .modgraph import module_identity as _module_identity
+from .modgraph import modules_from_sources
 from .rules.base import ModuleInfo
 from .suppress import is_suppressed, suppressions_for
 
@@ -302,77 +305,6 @@ class _Program:
 
     def attr_dim(self, fq: str) -> Dim | None:
         return self.attrs.get(self.resolve(fq))
-
-
-# ---------------------------------------------------------------------------
-# Module naming and import resolution
-# ---------------------------------------------------------------------------
-
-
-def _module_identity(path: str) -> tuple[str, bool]:
-    """(dotted module name, is_package) for a display path.
-
-    ``src/repro/power/model.py`` -> ``repro.power.model``; anything not
-    under a ``src`` directory keeps its full relative dotted path.
-    """
-    parts = list(PurePosixPath(path).parts)
-    if parts and parts[-1].endswith(".py"):
-        parts[-1] = parts[-1][: -len(".py")]
-    is_package = bool(parts) and parts[-1] == "__init__"
-    if is_package:
-        parts = parts[:-1]
-    if "src" in parts:
-        parts = parts[len(parts) - parts[::-1].index("src") :]
-    return ".".join(parts), is_package
-
-
-def _relative_base(module: str, is_package: bool, level: int) -> list[str]:
-    """Package parts a ``level``-dot relative import is anchored at."""
-    parts = module.split(".") if module else []
-    if not is_package and parts:
-        parts = parts[:-1]
-    extra = level - 1
-    if extra:
-        parts = parts[: max(len(parts) - extra, 0)]
-    return parts
-
-
-def _module_aliases(
-    tree: ast.Module, module: str, is_package: bool
-) -> dict[str, str]:
-    """Local name -> canonical dotted target, for every import statement."""
-    aliases: dict[str, str] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.asname:
-                    aliases[alias.asname] = alias.name
-                else:
-                    first = alias.name.split(".")[0]
-                    aliases[first] = first
-        elif isinstance(node, ast.ImportFrom):
-            if node.level:
-                base = _relative_base(module, is_package, node.level)
-                target = ".".join(base + ([node.module] if node.module else []))
-            else:
-                target = node.module or ""
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                bound = alias.asname or alias.name
-                aliases[bound] = f"{target}.{alias.name}" if target else alias.name
-    return aliases
-
-
-def _dotted(node: ast.AST) -> list[str] | None:
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return list(reversed(parts))
-    return None
 
 
 # ---------------------------------------------------------------------------
@@ -1177,17 +1109,7 @@ def analyze_sources(sources: Mapping[str, str]) -> list[Finding]:
     ``sources`` maps display paths (e.g. ``src/repro/foo.py``) to source
     text; inline ``# lint: ignore[...]`` suppressions are honoured.
     """
-    modules = []
-    for path, source in sources.items():
-        tree = ast.parse(source, filename=path)
-        modules.append(
-            ModuleInfo(
-                path=path,
-                source=source,
-                tree=tree,
-                lines=tuple(source.splitlines()),
-            )
-        )
+    modules = modules_from_sources(sources)
     findings = DimensionAnalysis().run(modules)
     kept: list[Finding] = []
     by_path: dict[str, dict[int, set[str]]] = {

@@ -16,6 +16,7 @@ from typing import Iterable, Sequence
 
 from .baseline import Baseline
 from .dimensions import DimensionAnalysis
+from .effects import EffectAnalysis
 from .findings import Finding
 from .rules import LintRule, ModuleInfo, all_rules
 from .suppress import is_suppressed, suppressions_for
@@ -24,6 +25,7 @@ __all__ = [
     "ALL_ANALYSES",
     "LintReport",
     "PARSE_ERROR_ID",
+    "clear_module_cache",
     "display_path",
     "iter_python_files",
     "lint_paths",
@@ -32,8 +34,11 @@ __all__ = [
 ]
 
 #: Every analysis the engine can run: the per-module rule catalogue and
-#: the whole-program dimensional-analysis pass.
-ALL_ANALYSES: tuple[str, ...] = ("rules", "dimensions")
+#: the two whole-program passes (dimensional analysis and effects).
+ALL_ANALYSES: tuple[str, ...] = ("rules", "dimensions", "effects")
+
+#: The whole-program passes, in the order they run after ``rules``.
+_WHOLE_PROGRAM_ANALYSES = (DimensionAnalysis, EffectAnalysis)
 
 #: Pseudo-rule id for files the parser rejects.
 PARSE_ERROR_ID = "E000"
@@ -102,6 +107,18 @@ def iter_python_files(paths: Sequence[str | Path]) -> list[Path]:
     return files
 
 
+#: Parsed-module cache shared by every analysis and every lint_paths
+#: call in one process: resolved path -> (signature, module, suppression
+#: map).  The (mtime_ns, size) signature invalidates stale entries, and
+#: the display path is part of the key because it depends on the cwd.
+_MODULE_CACHE: dict[tuple[str, str], tuple[tuple[int, int], ModuleInfo, dict[int, set[str]]]] = {}
+
+
+def clear_module_cache() -> None:
+    """Drop every cached parse (test isolation hook)."""
+    _MODULE_CACHE.clear()
+
+
 def load_module(path: Path) -> ModuleInfo:
     """Parse ``path``; raises SyntaxError for the caller to report."""
     source = path.read_text(encoding="utf-8")
@@ -112,6 +129,29 @@ def load_module(path: Path) -> ModuleInfo:
         tree=tree,
         lines=tuple(source.splitlines()),
     )
+
+
+def _load_module_cached(
+    path: Path,
+) -> tuple[ModuleInfo, dict[int, set[str]]]:
+    """``load_module`` plus its suppression map, memoized per process.
+
+    The three passes (and repeated lint runs in one test session) share
+    one parse per file instead of re-reading and re-parsing the tree.
+    """
+    key = (str(path.resolve()), str(Path.cwd()))
+    try:
+        stat = path.stat()
+        signature = (stat.st_mtime_ns, stat.st_size)
+    except OSError:
+        signature = (-1, -1)
+    cached = _MODULE_CACHE.get(key)
+    if cached is not None and cached[0] == signature:
+        return cached[1], cached[2]
+    module = load_module(path)
+    suppressions = suppressions_for(module.source)
+    _MODULE_CACHE[key] = (signature, module, suppressions)
+    return module, suppressions
 
 
 def _check_module(
@@ -163,8 +203,8 @@ def lint_paths(
     """Lint every Python file under ``paths`` and return the report.
 
     ``analyses`` selects what runs: ``"rules"`` — the per-module rule
-    catalogue; ``"dimensions"`` — the whole-program dimensional-analysis
-    pass (which needs every module parsed before any is checked).
+    catalogue; ``"dimensions"`` and ``"effects"`` — the whole-program
+    passes (which need every module parsed before any is checked).
     """
     unknown = set(analyses) - set(ALL_ANALYSES)
     if unknown:
@@ -174,9 +214,10 @@ def lint_paths(
     suppressed_total = 0
     files = iter_python_files(paths)
     modules: list[ModuleInfo] = []
+    suppression_maps: dict[str, dict[int, set[str]]] = {}
     for file_path in files:
         try:
-            modules.append(load_module(file_path))
+            module, suppressions = _load_module_cached(file_path)
         except SyntaxError as exc:
             raw.append(
                 Finding(
@@ -188,7 +229,9 @@ def lint_paths(
                     source_line=(exc.text or "").rstrip("\n"),
                 )
             )
-    suppression_maps = {m.path: suppressions_for(m.source) for m in modules}
+            continue
+        modules.append(module)
+        suppression_maps[module.path] = suppressions
     if "rules" in analyses:
         for module in modules:
             findings, suppressed = _check_module(
@@ -196,8 +239,10 @@ def lint_paths(
             )
             raw.extend(findings)
             suppressed_total += suppressed
-    if "dimensions" in analyses:
-        for finding in DimensionAnalysis().run(modules):
+    for analysis_cls in _WHOLE_PROGRAM_ANALYSES:
+        if analysis_cls.name not in analyses:
+            continue
+        for finding in analysis_cls().run(modules):
             if is_suppressed(
                 suppression_maps.get(finding.path, {}),
                 finding.line,

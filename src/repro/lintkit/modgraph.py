@@ -1,0 +1,124 @@
+"""Shared whole-program plumbing for the interprocedural analyses.
+
+Both multi-module passes — :mod:`repro.lintkit.dimensions` (physical
+units) and :mod:`repro.lintkit.effects` (purity/effects) — need the same
+three ingredients before they can reason across files: a dotted module
+name for every display path, an import-alias table resolving local names
+to canonical dotted targets (including relative imports and package
+re-exports), and a reader for dotted attribute chains.  They live here
+so the two analyses cannot drift apart on how a name resolves.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Mapping
+
+from .rules.base import ModuleInfo
+
+__all__ = [
+    "dotted",
+    "matches_suffix",
+    "module_aliases",
+    "module_identity",
+    "modules_from_sources",
+    "relative_base",
+]
+
+
+def module_identity(path: str) -> tuple[str, bool]:
+    """(dotted module name, is_package) for a display path.
+
+    ``src/repro/power/model.py`` -> ``repro.power.model``; anything not
+    under a ``src`` directory keeps its full relative dotted path.
+    """
+    parts = list(PurePosixPath(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    is_package = bool(parts) and parts[-1] == "__init__"
+    if is_package:
+        parts = parts[:-1]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src") :]
+    return ".".join(parts), is_package
+
+
+def relative_base(module: str, is_package: bool, level: int) -> list[str]:
+    """Package parts a ``level``-dot relative import is anchored at."""
+    parts = module.split(".") if module else []
+    if not is_package and parts:
+        parts = parts[:-1]
+    extra = level - 1
+    if extra:
+        parts = parts[: max(len(parts) - extra, 0)]
+    return parts
+
+
+def module_aliases(
+    tree: ast.Module, module: str, is_package: bool
+) -> dict[str, str]:
+    """Local name -> canonical dotted target, for every import statement."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    first = alias.name.split(".")[0]
+                    aliases[first] = first
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = relative_base(module, is_package, node.level)
+                target = ".".join(base + ([node.module] if node.module else []))
+            else:
+                target = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                aliases[bound] = f"{target}.{alias.name}" if target else alias.name
+    return aliases
+
+
+def dotted(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` as ``["a", "b", "c"]``; None for non-name expressions."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def matches_suffix(fq: str, suffix: str) -> bool:
+    """True when ``fq`` is ``suffix`` or ends with ``.suffix``.
+
+    Matching on dotted-boundary suffixes is what lets the analysis roots
+    (``Simulation.run``, ``runner._execute``) bind both to the real tree
+    and to the mirror fixtures under ``tests/fixtures/``.
+    """
+    return fq == suffix or fq.endswith("." + suffix)
+
+
+def modules_from_sources(sources: Mapping[str, str]) -> list[ModuleInfo]:
+    """Parse in-memory sources into :class:`ModuleInfo` records.
+
+    ``sources`` maps display paths (e.g. ``src/repro/foo.py``) to source
+    text — the shared entry point for the analyses' test harnesses.
+    """
+    modules = []
+    for path, source in sources.items():
+        tree = ast.parse(source, filename=path)
+        modules.append(
+            ModuleInfo(
+                path=path,
+                source=source,
+                tree=tree,
+                lines=tuple(source.splitlines()),
+            )
+        )
+    return modules

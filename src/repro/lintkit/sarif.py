@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 
 from .dimensions import DIM_RULES
+from .effects import EFF_RULES
 from .engine import PARSE_ERROR_ID, LintReport
 from .rules import all_rules
 
@@ -42,7 +43,7 @@ def _rule_catalogue() -> list[dict[str, object]]:
             "shortDescription": {"text": title},
             "fullDescription": {"text": rationale},
         }
-        for rule_id, title, rationale in DIM_RULES
+        for rule_id, title, rationale in DIM_RULES + EFF_RULES
     )
     rules.append(
         {

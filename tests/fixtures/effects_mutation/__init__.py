@@ -1,0 +1,15 @@
+"""Seeded effect-violation fixture for the effects-analysis tests.
+
+A two-module mirror of the real runner/simulator shape: ``runner.py``
+defines the worker entry points (``_execute``/``_supervised_worker``)
+and ``simulator.py`` a ``Simulation`` class, so the effect analysis'
+suffix-matched roots bind to this package exactly as they bind to the
+real tree.  Every planted violation carries an ``# expect: EFFxxx``
+marker; ``tests/test_lintkit_effects.py`` asserts the findings match
+the markers exactly — no more, no fewer.
+
+Not part of the library (CI's lint run does not cover ``tests/``), so
+the seeded bugs never appear in the repository's own lint report.
+"""
+
+__all__: list[str] = []

@@ -414,7 +414,7 @@ class TestEngineIntegration:
             lint_paths([str(MUTATION_FIXTURE)], analyses=("bogus",))
 
     def test_all_analyses_constant(self):
-        assert ALL_ANALYSES == ("rules", "dimensions")
+        assert ALL_ANALYSES == ("rules", "dimensions", "effects")
 
     def test_mixed_rule_line_without_suppression(self, tmp_path):
         target = tmp_path / "mod.py"
@@ -543,17 +543,13 @@ class TestRepositoryTree:
         rendered = "\n".join(f.render() for f in report.findings)
         assert report.ok, f"dimension findings in src/:\n{rendered}"
 
-    def test_extras_clean_against_grandfathered_baseline(self):
-        # examples/ and benchmarks/ carry pre-existing (non-DIM) debt,
-        # frozen in lint-baseline-extras.json; CI lints them against it.
-        # New findings — dimensional or otherwise — must still fail.
-        from repro.lintkit import Baseline
-
-        baseline = Baseline.load(REPO_ROOT / "lint-baseline-extras.json")
-        assert len(baseline) > 0, "extras baseline should carry the debt"
+    def test_extras_lint_clean_without_baseline(self):
+        # examples/ and benchmarks/ once carried 34 grandfathered
+        # findings in lint-baseline-extras.json; that debt is paid, the
+        # file is gone, and the extras must stay clean baseline-free.
+        assert not (REPO_ROOT / "lint-baseline-extras.json").exists()
         report = lint_paths(
             [REPO_ROOT / "examples", REPO_ROOT / "benchmarks"],
-            baseline=baseline,
         )
         rendered = "\n".join(f.render() for f in report.findings)
-        assert report.ok, f"new findings in examples//benchmarks/:\n{rendered}"
+        assert report.ok, f"findings in examples//benchmarks/:\n{rendered}"
